@@ -1,0 +1,75 @@
+"""Figure 5 — Speedups on K40 including the programmer-guided bars.
+
+Same series as Figure 4 on the K40 device model plus the programmer-guided
+transformation: SCALE-LES guided by fixing deep-loop fusion, HOMME by the
+one-sided divergence strategy, Fluam by manual target filtering (§6.2.2).
+The paper reports automated >= 85% of manual, guided ~92%, and HOMME's
+guided-with-fission exceeding the manual (fusion-only) approach.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.gpu.device import K40
+
+from common import fmt_row, guided_run, print_header, run_pipeline
+
+_WIDTHS = (14, 12, 14, 12, 10)
+_ROWS = {}
+
+GUIDED_APPS = ("SCALE-LES", "HOMME", "Fluam")
+MANUAL_REFERENCE_APPS = ("SCALE-LES", "HOMME")
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_fig5_series(benchmark, app):
+    def run_all():
+        automated = run_pipeline(app, K40).speedup
+        fission_fusion = run_pipeline(app, K40, tuning=False).speedup
+        guided = guided_run(app, K40).speedup if app in GUIDED_APPS else None
+        manual = (
+            run_pipeline(app, K40, mode="manual").speedup
+            if app in MANUAL_REFERENCE_APPS
+            else None
+        )
+        return fission_fusion, automated, guided, manual
+
+    _ROWS[app] = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+
+def test_fig5_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_header("Figure 5: Speedup over original CUDA codebase (K40)")
+    print(fmt_row(("Application", "Fiss+Fusion", "+BlockTune", "Guided", "Manual"), _WIDTHS))
+    for app in APP_NAMES:
+        if app not in _ROWS:
+            continue
+        ff, automated, guided, manual = _ROWS[app]
+        print(
+            fmt_row(
+                (
+                    app,
+                    f"{ff:.3f}x",
+                    f"{automated:.3f}x",
+                    f"{guided:.3f}x" if guided else "-",
+                    f"{manual:.3f}x" if manual else "-",
+                ),
+                _WIDTHS,
+            )
+        )
+
+    if len(_ROWS) == len(APP_NAMES):
+        for app in MANUAL_REFERENCE_APPS:
+            ff, automated, guided, manual = _ROWS[app]
+            # automated achieves a large share of the manual improvement...
+            auto_gain = automated - 1.0
+            manual_gain = manual - 1.0
+            assert auto_gain >= 0.55 * manual_gain, (app, automated, manual)
+            # ...and guided closes the gap further
+            assert guided >= automated - 1e-6, (app, guided, automated)
+        # guided Fluam (manual filtering) stays within noise of automated
+        # (partial reproduction: see EXPERIMENTS.md - our false targets
+        # still contribute small launch-overhead wins instead of only
+        # hurting convergence)
+        ff, automated, guided, _ = _ROWS["Fluam"]
+        assert guided >= automated - 0.06

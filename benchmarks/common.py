@@ -1,0 +1,131 @@
+"""Shared harness for the per-table / per-figure benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§6) by running the end-to-end pipeline over the six generated applications
+and printing the same rows/series the paper reports.  Results are cached
+per configuration so the figure benches that share runs do not recompute
+them.
+
+Absolute numbers come from the analytic device model, not a real K20X/K40 —
+per DESIGN.md the reproduction targets the *shape* of the results (who
+wins, by roughly which factor), which EXPERIMENTS.md records side by side
+with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps import APP_NAMES, SPECS, build_app
+from repro.gpu.device import DeviceSpec, K20X, K40
+from repro.pipeline import Framework, PipelineConfig, PipelineState
+from repro.search import GAParams, fast_params
+
+#: GA budget for benchmark runs (reduced from the paper's 500x100 C++ GGA;
+#: early stopping keeps runs tractable in pure Python).
+BENCH_POPULATION = 36
+BENCH_GENERATIONS = 60
+BENCH_STALL = 20
+BENCH_SEED = 20150615  # HPDC'15
+
+
+@dataclass(frozen=True)
+class RunKey:
+    app: str
+    device: str
+    mode: str
+    fission: bool
+    tuning: bool
+    filtering: str  # 'auto' | 'manual' | 'off'
+
+
+@dataclass
+class RunOutcome:
+    state: PipelineState
+    wall_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.state.speedup
+
+
+_CACHE: Dict[RunKey, RunOutcome] = {}
+
+
+def bench_params(seed: int = BENCH_SEED) -> GAParams:
+    params = fast_params(seed=seed)
+    params.population = BENCH_POPULATION
+    params.generations = BENCH_GENERATIONS
+    params.stall_generations = BENCH_STALL
+    return params
+
+
+def guided_overrides(app: str) -> Optional[Dict[str, object]]:
+    """The targeted interventions §6.2.2 reports per application."""
+    if app == "SCALE-LES":
+        # the identified inefficiency was deep-nested-loop fusion
+        return {"merge_deep_loops": True}
+    if app == "HOMME":
+        # the identified inefficiency was two-sided divergence guards;
+        # fission already helps HOMME, keep it on
+        return {"one_sided_guards": True}
+    return None
+
+
+def run_pipeline(
+    app: str,
+    device: DeviceSpec = K20X,
+    mode: str = "automated",
+    fission: bool = True,
+    tuning: bool = True,
+    filtering: str = "auto",
+    overrides: Optional[Dict[str, object]] = None,
+) -> RunOutcome:
+    """Run (or fetch from cache) one full transformation."""
+    key = RunKey(app, device.name, mode, fission, tuning, filtering)
+    if overrides is None and key in _CACHE:
+        return _CACHE[key]
+
+    generated = build_app(app)
+    manual_exclusions: Tuple[str, ...] = ()
+    if filtering == "manual":
+        manual_exclusions = generated.latency_kernels
+    config = PipelineConfig(
+        device=device,
+        mode=mode,
+        ga_params=bench_params(),
+        manual_exclusions=manual_exclusions,
+        disable_filtering=(filtering == "off"),
+        enable_fission=fission,
+        tune_blocks=tuning,
+        verify=False,  # correctness is covered by the test suite
+        fusion_overrides=overrides,
+    )
+    start = time.perf_counter()
+    state = Framework(generated.program, config).run()
+    outcome = RunOutcome(state=state, wall_time_s=time.perf_counter() - start)
+    if overrides is None:
+        _CACHE[key] = outcome
+    return outcome
+
+
+def guided_run(app: str, device: DeviceSpec = K20X) -> RunOutcome:
+    """Programmer-guided transformation for the figure benches."""
+    if app == "Fluam":
+        # Fluam's guided fix is manual target filtering (§6.2.2)
+        return run_pipeline(app, device, filtering="manual")
+    overrides = guided_overrides(app)
+    return run_pipeline(app, device, overrides=overrides)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def fmt_row(cells, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

@@ -1,0 +1,32 @@
+"""repro: reproduction of "Automated GPU Kernel Transformations in
+Large-Scale Production Stencil Applications" (Wahib & Maruyama, HPDC 2015).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+- :mod:`repro.cudalite`  — the CUDA-C dialect (parser / AST / unparser)
+- :mod:`repro.gpu`       — device models, occupancy, interpreter, profiler
+- :mod:`repro.analysis`  — static analysis and metadata
+- :mod:`repro.graphs`    — DDG / OEG
+- :mod:`repro.search`    — the grouped genetic algorithm (lazy fission)
+- :mod:`repro.transform` — fission / fusion code generation, tuning
+- :mod:`repro.pipeline`  — the end-to-end framework and CLI
+- :mod:`repro.apps`      — the six application generators
+"""
+
+__version__ = "1.0.0"
+
+from .cudalite import parse_program, unparse
+from .gpu.device import K20X, K40, query_device
+from .pipeline import Framework, PipelineConfig, transform_program
+
+__all__ = [
+    "parse_program",
+    "unparse",
+    "K20X",
+    "K40",
+    "query_device",
+    "Framework",
+    "PipelineConfig",
+    "transform_program",
+    "__version__",
+]

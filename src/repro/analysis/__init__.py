@@ -1,0 +1,51 @@
+"""Static analysis substrate: accesses, stencils, dependencies, metadata."""
+
+from .accesses import (
+    IRREGULAR,
+    ArrayAccessInfo,
+    KernelAccesses,
+    StatementAccess,
+    collect_accesses,
+    find_global_index_vars,
+    find_loops,
+    max_loop_depth,
+    shared_arrays_between,
+)
+from .deps import (
+    array_dependency_graph,
+    dependency_exists,
+    intra_kernel_flow,
+    is_fissionable,
+    separable_components,
+)
+from .metadata import KernelOperations, KernelPerformance, ProgramMetadata
+from .roofline import RooflinePoint, attainable_gflops, classify, ridge_point
+from .stencil import (
+    ArrayStencil,
+    KernelStencilInfo,
+    StencilShape,
+    analyze_stencil,
+    classify_offsets,
+)
+from .volume import (
+    AxisBounds,
+    LaunchVolume,
+    bind_scalars,
+    estimate_volume,
+    eval_scalar_expr,
+    extract_guard_bounds,
+)
+
+__all__ = [
+    "collect_accesses", "KernelAccesses", "ArrayAccessInfo", "StatementAccess",
+    "find_global_index_vars", "find_loops", "max_loop_depth",
+    "shared_arrays_between", "IRREGULAR",
+    "array_dependency_graph", "dependency_exists", "separable_components",
+    "is_fissionable", "intra_kernel_flow",
+    "StencilShape", "ArrayStencil", "KernelStencilInfo",
+    "analyze_stencil", "classify_offsets",
+    "RooflinePoint", "classify", "ridge_point", "attainable_gflops",
+    "LaunchVolume", "AxisBounds", "estimate_volume", "extract_guard_bounds",
+    "eval_scalar_expr", "bind_scalars",
+    "ProgramMetadata", "KernelPerformance", "KernelOperations",
+]

@@ -1,0 +1,76 @@
+"""Roofline-model classification of kernels (§3.2.2).
+
+The framework excludes compute-bound kernels from the fusion search: they do
+not benefit from inter-kernel data reuse but inflate the search space.  A
+kernel is compute-bound when its operational intensity (FLOPs per byte of
+off-chip traffic) exceeds the device's *ridge point*
+``peak_flops / peak_bandwidth`` [Williams et al., the Roofline model].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel's position on the roofline."""
+
+    kernel_name: str
+    flops: float
+    bytes_moved: float
+    operational_intensity: float
+    ridge_point: float
+    bound: str  # 'memory' or 'compute'
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.bound == "compute"
+
+
+def ridge_point(device: DeviceSpec, precision: str = "double") -> float:
+    """Operational intensity at which the device turns compute-bound."""
+    peak = (
+        device.peak_gflops_dp if precision == "double" else device.peak_gflops_sp
+    )
+    return peak / device.peak_bandwidth_gbs
+
+
+def classify(
+    kernel_name: str,
+    flops: float,
+    bytes_moved: float,
+    device: DeviceSpec,
+    precision: str = "double",
+) -> RooflinePoint:
+    """Place a kernel on the roofline and classify its bound.
+
+    ``bytes_moved`` of zero (a pathological kernel that touches no global
+    data) classifies as compute-bound: it cannot benefit from locality.
+    """
+    if bytes_moved <= 0:
+        intensity = float("inf")
+    else:
+        intensity = flops / bytes_moved
+    ridge = ridge_point(device, precision)
+    bound = "compute" if intensity >= ridge else "memory"
+    return RooflinePoint(
+        kernel_name=kernel_name,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        operational_intensity=intensity,
+        ridge_point=ridge,
+        bound=bound,
+    )
+
+
+def attainable_gflops(
+    intensity: float, device: DeviceSpec, precision: str = "double"
+) -> float:
+    """Roofline ceiling: ``min(peak, intensity * bandwidth)`` in GFLOP/s."""
+    peak = (
+        device.peak_gflops_dp if precision == "double" else device.peak_gflops_sp
+    )
+    return min(peak, intensity * device.peak_bandwidth_gbs)

@@ -1,0 +1,9 @@
+"""Synthetic application generators matching the paper's six codebases."""
+
+from .base import AppBuilder, AppSpec, GeneratedApp
+from .registry import APP_NAMES, APPS, SPECS, build_app
+
+__all__ = [
+    "AppBuilder", "AppSpec", "GeneratedApp",
+    "APPS", "SPECS", "APP_NAMES", "build_app",
+]

@@ -1,0 +1,89 @@
+"""AWP-ODC-GPU stand-in: earthquake wave propagation (§6.1.1).
+
+Twelve kernels over 24 arrays, only 6 targets — but the kernels are *large*
+("already in an almost-fused state"): staggered-grid 4th-order (radius-4
+halo) velocity and stress updates, each writing six independent components.
+The structure reproduces the paper's signature behaviour:
+
+* plain **fusion finds nothing**: the velocity kernel reads the stress
+  arrays with a halo that the stress kernels later overwrite (an
+  inter-block WAR hazard), and the two stress kernels together need more
+  shared-memory tiles than a Kepler block owns;
+* **fission + fusion wins**: splitting the stress kernels into separable
+  per-component fragments relaxes the shared-memory boundary, and
+  component-level regrouping (fragments of the two stress kernels share
+  their velocity/work inputs pairwise) exposes the locality — hence the
+  orders-of-magnitude higher fissions-per-generation (Table 1: 1.062).
+"""
+
+from __future__ import annotations
+
+from .base import AppBuilder, AppSpec, GeneratedApp, scaled_spec
+
+SPEC = AppSpec(
+    name="AWP-ODC-GPU",
+    domain=(192, 64, 12),
+    block=(32, 8, 1),
+    paper_kernels=12,
+    paper_arrays=24,
+    paper_targets=6,
+    paper_new_kernels=3,
+    paper_speedup=(1.00, 1.35),
+)
+
+
+def build(scale: float = 1.0, seed: int = 3500) -> GeneratedApp:
+    spec = scaled_spec(SPEC, scale)
+    builder = AppBuilder(spec, seed=seed)
+
+    # 6 velocity components, 6 work/material fields (read-only),
+    # 6 + 6 stress components: 24 arrays
+    velocity = [builder.new_array("vel") for _ in range(6)]
+    work = [builder.new_array("wrk") for _ in range(6)]
+    stress = [builder.new_array("sig") for _ in range(6)]
+    stress_b = [builder.new_array("sgb") for _ in range(6)]
+
+    # velocity update: reads both stress families with halos the stress
+    # kernels later overwrite -> WAR-locked against whole-kernel fusion
+    builder.fused_like_kernel(
+        "vel_update",
+        [
+            (velocity[j], [(stress[j], 4), (stress_b[j], 2)])
+            for j in range(6)
+        ],
+    )
+    # stress updates: per-component inputs are disjoint (separable) but the
+    # two kernels share them pairwise -> fragment-level locality
+    builder.fused_like_kernel(
+        "stress_update_a",
+        [
+            (stress[j], [(velocity[(j + 1) % 6], 4), (work[j], 2)])
+            for j in range(6)
+        ],
+    )
+    builder.fused_like_kernel(
+        "stress_update_b",
+        [
+            (stress_b[j], [(velocity[(j + 1) % 6], 4), (work[j], 2)])
+            for j in range(6)
+        ],
+    )
+    # attenuation accumulation: same sharing pattern, smaller halo
+    builder.fused_like_kernel(
+        "atten_update",
+        [
+            (stress_b[j], [(velocity[(j + 1) % 6], 2), (work[j], 0)])
+            for j in range(3)
+        ],
+    )
+    # two regular stencil kernels
+    builder.stencil_kernel("src_inject", stress[0], [(velocity[1], 1)])
+    builder.stencil_kernel("sponge", velocity[0], [(work[0], 1)])
+
+    # excluded kernels: ghost-cell boundary exchanges and compute-bound setup
+    for idx in range(4):
+        builder.boundary_kernel(f"ghost{idx}", stress_b[idx], stress[idx])
+    builder.compute_bound_kernel("material_setup", stress[5], work[5])
+    builder.compute_bound_kernel("cerjan_coeff", stress_b[5], work[4])
+
+    return builder.build()

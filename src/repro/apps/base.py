@@ -1,0 +1,412 @@
+"""Shared machinery for the six synthetic application generators (§6.1.1).
+
+The paper evaluates on six production codebases we do not have.  Each
+generator in this package builds a CudaLite program whose *structure* —
+kernel count, array count, sharing pattern, boundary/compute-bound mix,
+loop-nest depths, "almost fused" kernels with separable arrays — matches
+what Table 1 and the per-application narratives report, so that the
+pipeline's behaviour on it (filtering, search, fission, codegen, tuning)
+reproduces the paper's evaluation shape.
+
+All generators are deterministic (seeded) and scale-parameterized so tests
+can run them small while the benchmarks run them at full structural size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cudalite import ast_nodes as ast
+from ..cudalite import builders as b
+
+
+@dataclass
+class AppSpec:
+    """Declared attributes of a generated application (Table 1 inputs)."""
+
+    name: str
+    domain: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    #: paper-reported attributes, used for reporting alongside measured ones
+    paper_kernels: int
+    paper_arrays: int
+    paper_targets: int
+    paper_new_kernels: int
+    paper_speedup: Tuple[float, float]  # (fusion-only-ish, best) on K20X
+
+
+def scaled_spec(spec: AppSpec, scale: float) -> AppSpec:
+    """Shrink the spec's domain for fast tests (structure untouched).
+
+    ``scale`` < 1 shrinks the x/y extents proportionally (never below one
+    thread block); the z extent is kept (vertical loops are part of the
+    structure).
+    """
+    if scale >= 1.0:
+        return spec
+    from dataclasses import replace
+
+    bx, by, _ = spec.block
+    nx = max(bx, int(spec.domain[0] * scale) // bx * bx or bx)
+    ny = max(by, int(spec.domain[1] * scale) // by * by or by)
+    return replace(spec, domain=(nx, ny, spec.domain[2]))
+
+
+@dataclass
+class GeneratedApp:
+    """A generated application program plus metadata the benches use."""
+
+    spec: AppSpec
+    program: ast.Program
+    #: kernels that are latency-bound in reality but look memory-bound to
+    #: the automated filter (the Fluam anomaly); the "manual filtering"
+    #: experiment excludes them
+    latency_kernels: Tuple[str, ...] = ()
+    #: kernels with deep nested loops (the SCALE-LES codegen gap)
+    deep_loop_kernels: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class AppBuilder:
+    """Composes kernels and a host driver into a CudaLite program."""
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.rng = random.Random(seed ^ hash(spec.name) & 0xFFFF)
+        self.nx, self.ny, self.nz = spec.domain
+        self.kernels: List[ast.KernelDef] = []
+        self.launch_args: List[Tuple[str, List[str], List[float]]] = []
+        self.arrays: List[str] = []
+        self.array_dims: Dict[str, int] = {}
+        self.latency_kernels: List[str] = []
+        self.deep_loop_kernels: List[str] = []
+        #: separate small launches (kernel -> (grid, block)); default launch
+        #: geometry is derived from the domain
+        self.custom_launch: Dict[str, Tuple[Tuple[int, int, int], Tuple[int, int, int]]] = {}
+
+    # ------------------------------------------------------------------ arrays
+
+    def new_array(self, prefix: str = "a", dims: int = 3) -> str:
+        name = f"{prefix}{len(self.arrays):02d}"
+        self.arrays.append(name)
+        self.array_dims[name] = dims
+        return name
+
+    def array_pool(self, count: int, prefix: str = "a") -> List[str]:
+        return [self.new_array(prefix) for _ in range(count)]
+
+    # ----------------------------------------------------------- kernel pieces
+
+    def _index_decls(self) -> List[ast.Stmt]:
+        return [
+            b.decl("int", "i", b.global_index("x")),
+            b.decl("int", "j", b.global_index("y")),
+        ]
+
+    def _interior_guard(self, radius: int) -> ast.Expr:
+        if radius <= 0:
+            return b.logical_and(b.lt("i", "nx"), b.lt("j", "ny"))
+        return b.logical_and(
+            b.ge("i", radius),
+            b.lt("i", b.sub("nx", radius)),
+            b.ge("j", radius),
+            b.lt("j", b.sub("ny", radius)),
+        )
+
+    def _stencil_sum(
+        self, array: str, radius: int, k: Optional[str], coeff: float
+    ) -> ast.Expr:
+        """A star-stencil read combination of one array."""
+        def access(di: int, dj: int) -> ast.Expr:
+            idx = [b.add("i", di), b.add("j", dj)]
+            if k is not None and self.array_dims.get(array, 3) == 3:
+                idx.append(b.ident(k))
+            return b.idx(array, *idx)
+
+        if radius <= 0:
+            return b.mul(b.lit(coeff), access(0, 0))
+        terms: ast.Expr = access(0, 0)
+        for d in range(1, radius + 1):
+            for di, dj in ((d, 0), (-d, 0), (0, d), (0, -d)):
+                terms = b.add(terms, access(di, dj))
+        return b.mul(b.lit(coeff), terms)
+
+    def _write(self, array: str, k: Optional[str], value: ast.Expr, op: str = "=") -> ast.Assign:
+        idx: List[b.ExprLike] = ["i", "j"]
+        if k is not None and self.array_dims.get(array, 3) == 3:
+            idx.append(k)
+        return b.assign(b.idx(array, *idx), value, op)
+
+    def _params_for(self, arrays: Sequence[str], written: Set[str], extra_scalars: int = 0):
+        params = [
+            b.param("double", a, pointer=True, const=a not in written)
+            for a in arrays
+        ]
+        params += [
+            b.param("int", "nx"),
+            b.param("int", "ny"),
+            b.param("int", "nz"),
+        ]
+        scalar_names = []
+        for s in range(extra_scalars):
+            scalar_names.append(f"c{s}")
+            params.append(b.param("double", f"c{s}"))
+        return params, scalar_names
+
+    def _register(
+        self,
+        kernel: ast.KernelDef,
+        arrays: Sequence[str],
+        scalars: Sequence[float],
+    ) -> str:
+        self.kernels.append(kernel)
+        self.launch_args.append(
+            (kernel.name, list(arrays), [self.nx, self.ny, self.nz] + list(scalars))
+        )
+        return kernel.name
+
+    # ---------------------------------------------------------------- kernels
+
+    def stencil_kernel(
+        self,
+        name: str,
+        out: str,
+        ins: Sequence[Tuple[str, int]],
+        with_loop: bool = True,
+        loop_bound: Optional[int] = None,
+        flavor: float = 1.0,
+    ) -> str:
+        """Canonical stencil sweep: ``out = Σ coeff_i * stencil(in_i)``."""
+        k = "k" if with_loop else None
+        value: Optional[ast.Expr] = None
+        coeffs: List[float] = []
+        for idx, (array, radius) in enumerate(ins):
+            coeff = round(flavor * (0.2 + 0.1 * idx + 0.05 * self.rng.random()), 6)
+            coeffs.append(coeff)
+            term = self._stencil_sum(array, radius, k, 1.0)
+            term = b.mul(b.ident(f"c{idx}"), term)
+            value = term if value is None else b.add(value, term)
+        assert value is not None
+        body_stmt = self._write(out, k, value)
+        radius = max((r for _, r in ins), default=0)
+        inner: List[ast.Stmt] = [body_stmt]
+        if with_loop:
+            bound = loop_bound if loop_bound is not None else None
+            bound_expr: b.ExprLike = bound if bound is not None else "nz"
+            inner = [b.for_("k", 0, bound_expr, inner)]
+        arrays = [out] + [a for a, _ in ins if a != out]
+        params, _ = self._params_for(arrays, {out}, extra_scalars=len(ins))
+        kernel = b.kernel(
+            name,
+            params,
+            self._index_decls() + [b.if_(self._interior_guard(radius), inner)],
+        )
+        return self._register(kernel, arrays, coeffs)
+
+    def pointwise_kernel(
+        self, name: str, out: str, ins: Sequence[str], with_loop: bool = True
+    ) -> str:
+        return self.stencil_kernel(
+            name, out, [(a, 0) for a in ins], with_loop=with_loop
+        )
+
+    def boundary_kernel(self, name: str, out: str, src: str) -> str:
+        """Applies a boundary condition to one face (i == 0 plane)."""
+        k = "k"
+        value = b.mul(b.lit(0.5), self._stencil_sum(src, 0, k, 1.0))
+        guard = b.logical_and(b.lt("i", 1), b.lt("j", "ny"))
+        body = [b.for_("k", 0, "nz", [self._write(out, k, value)])]
+        arrays = [out, src] if out != src else [out]
+        params, _ = self._params_for(arrays, {out})
+        kernel = b.kernel(name, params, self._index_decls() + [b.if_(guard, body)])
+        return self._register(kernel, arrays, [])
+
+    def compute_bound_kernel(
+        self, name: str, out: str, src: str, intensity: int = 14
+    ) -> str:
+        """Transcendental-heavy kernel (above the roofline ridge)."""
+        k = "k"
+        stmts: List[ast.Stmt] = [
+            b.decl("double", "acc", b.idx(src, "i", "j", k)),
+        ]
+        for _ in range(intensity):
+            stmts.append(
+                b.assign("acc", b.add("acc", b.mul(b.call("sin", "acc"), 0.99)))
+            )
+        stmts.append(self._write(out, k, b.ident("acc")))
+        body = [b.for_("k", 0, "nz", stmts)]
+        arrays = [out, src] if out != src else [out]
+        params, _ = self._params_for(arrays, {out})
+        kernel = b.kernel(
+            name, params, self._index_decls() + [b.if_(self._interior_guard(0), body)]
+        )
+        return self._register(kernel, arrays, [])
+
+    def fused_like_kernel(
+        self,
+        name: str,
+        components: Sequence[Tuple[str, Sequence[Tuple[str, int]]]],
+    ) -> str:
+        """A large "almost fused" kernel with separable array components.
+
+        Each component is (output array, [(input array, radius), ...]);
+        component inputs must be disjoint for Algorithm 2 to separate them.
+        """
+        k = "k"
+        stmts: List[ast.Stmt] = []
+        coeffs: List[float] = []
+        arrays: List[str] = []
+        written: Set[str] = set()
+        scalar_idx = 0
+        max_radius = 0
+        for out, ins in components:
+            value: Optional[ast.Expr] = None
+            for array, radius in ins:
+                max_radius = max(max_radius, radius)
+                coeff = round(0.15 + 0.08 * scalar_idx, 6)
+                coeffs.append(coeff)
+                term = b.mul(
+                    b.ident(f"c{scalar_idx}"), self._stencil_sum(array, radius, k, 1.0)
+                )
+                scalar_idx += 1
+                value = term if value is None else b.add(value, term)
+                if array not in arrays:
+                    arrays.append(array)
+            assert value is not None
+            stmts.append(self._write(out, k, value))
+            written.add(out)
+            if out not in arrays:
+                arrays.insert(0, out)
+        arrays = sorted(set(arrays), key=arrays.index)
+        body = [b.for_("k", 0, "nz", stmts)]
+        params, _ = self._params_for(arrays, written, extra_scalars=scalar_idx)
+        kernel = b.kernel(
+            name,
+            params,
+            self._index_decls()
+            + [b.if_(self._interior_guard(max_radius), body)],
+        )
+        return self._register(kernel, arrays, coeffs)
+
+    def deep_loop_kernel(
+        self, name: str, out: str, ins: Sequence[Tuple[str, int]], inner_trips: int = 4
+    ) -> str:
+        """A kernel with a nested inner loop (the SCALE-LES gap driver)."""
+        k = "k"
+        radius = max((r for _, r in ins), default=0)
+        inner_stmts: List[ast.Stmt] = []
+        coeffs: List[float] = []
+        for idx, (array, r) in enumerate(ins):
+            coeff = round(0.1 + 0.05 * idx, 6)
+            coeffs.append(coeff)
+            inner_stmts.append(
+                b.assign(
+                    "acc",
+                    b.add(
+                        "acc",
+                        b.mul(
+                            b.ident(f"c{idx}"),
+                            b.mul(
+                                self._stencil_sum(array, r, k, 1.0),
+                                b.add(b.mul("m", 0.25), 1.0),
+                            ),
+                        ),
+                    ),
+                )
+            )
+        loop_body: List[ast.Stmt] = [
+            b.decl("double", "acc", 0.0),
+            b.for_("m", 0, inner_trips, inner_stmts),
+            self._write(out, k, b.ident("acc")),
+        ]
+        body = [b.for_("k", 0, "nz", loop_body)]
+        arrays = [out] + [a for a, _ in ins if a != out]
+        params, _ = self._params_for(arrays, {out}, extra_scalars=len(ins))
+        kernel = b.kernel(
+            name,
+            params,
+            self._index_decls() + [b.if_(self._interior_guard(radius), body)],
+        )
+        self.deep_loop_kernels.append(name)
+        return self._register(kernel, arrays, coeffs)
+
+    def latency_kernel(self, name: str, out: str, src: str) -> str:
+        """A tiny-grid kernel that *looks* memory-bound (Fluam anomaly)."""
+        result = self.pointwise_kernel(name, out, [src], with_loop=True)
+        self.latency_kernels.append(name)
+        self.custom_launch[name] = ((1, 1, 1), (16, 4, 1))
+        return result
+
+    # ------------------------------------------------------------------- host
+
+    def build(self) -> GeneratedApp:
+        """Assemble the host driver and return the generated application."""
+        nx, ny, nz = self.nx, self.ny, self.nz
+        bx, by, bz = self.spec.block
+        gx = -(-nx // bx)
+        gy = -(-ny // by)
+        stmts: List[ast.Stmt] = [
+            b.decl("int", "nx", nx),
+            b.decl("int", "ny", ny),
+            b.decl("int", "nz", nz),
+        ]
+        for array in self.arrays:
+            dims = self.array_dims[array]
+            alloc = {
+                3: b.call("cudaMalloc3D", "nx", "ny", "nz"),
+                2: b.call("cudaMalloc2D", "nx", "ny"),
+                1: b.call("cudaMalloc1D", "nx"),
+            }[dims]
+            stmts.append(
+                ast.VarDecl(ast.TypeSpec("double", is_pointer=True), array, alloc)
+            )
+        for seed, array in enumerate(self.arrays):
+            stmts.append(
+                ast.ExprStmt(b.call("deviceRandom", array, seed + 11))
+            )
+        stmts.append(ast.VarDecl(ast.TypeSpec("dim3"), "grid", b.call("dim3", gx, gy, 1)))
+        stmts.append(ast.VarDecl(ast.TypeSpec("dim3"), "block", b.call("dim3", bx, by, bz)))
+        for kernel_name, arrays, scalars in self.launch_args:
+            scalar_exprs: List[ast.Expr] = []
+            for value in scalars:
+                if isinstance(value, int) or float(value).is_integer() and abs(value) > 4:
+                    # sizes are ints; coefficients stay floats
+                    pass
+            kernel = next(kdef for kdef in self.kernels if kdef.name == kernel_name)
+            scalar_params = kernel.scalar_params()
+            for param, value in zip(scalar_params, scalars):
+                if param.type.base == "int":
+                    if param.name == "nx":
+                        scalar_exprs.append(b.ident("nx"))
+                    elif param.name == "ny":
+                        scalar_exprs.append(b.ident("ny"))
+                    elif param.name == "nz":
+                        scalar_exprs.append(b.ident("nz"))
+                    else:
+                        scalar_exprs.append(ast.IntLit(int(value)))
+                else:
+                    scalar_exprs.append(ast.FloatLit(float(value)))
+            args = [b.ident(a) for a in arrays] + scalar_exprs
+            if kernel_name in self.custom_launch:
+                cgrid, cblock = self.custom_launch[kernel_name]
+                stmts.append(b.launch(kernel_name, cgrid, cblock, args))
+            else:
+                stmts.append(b.launch(kernel_name, b.ident("grid"), b.ident("block"), args))
+        stmts.append(ast.ExprStmt(b.call("cudaDeviceSynchronize")))
+        stmts.append(ast.Return(ast.IntLit(0)))
+        program = b.program(list(self.kernels) + [b.host_main(stmts)])
+        return GeneratedApp(
+            spec=self.spec,
+            program=program,
+            latency_kernels=tuple(self.latency_kernels),
+            deep_loop_kernels=tuple(self.deep_loop_kernels),
+        )

@@ -1,0 +1,106 @@
+"""B-CALM stand-in: GPU 3-D FDTD with multi-pole dispersion (§6.1.1).
+
+B-CALM deliberately breaks the E/H update equations into separate kernels
+per pole to minimize thread divergence, at the cost of extra global-memory
+traffic for the intermediate pole results between kernel invocations.  The
+stand-in reproduces that and the paper's fission-dependent behaviour:
+
+* the pole kernels read the field arrays *with a halo* that the field
+  update kernels later overwrite, so **whole-kernel fusion is WAR-locked**
+  (fusion-only finds nothing, Fig. 4/5);
+* after **fission**, a pole fragment can pair with the field-update
+  fragment that consumes its pole intermediates but writes a *different*
+  field component — the intermediate pole arrays then flow on-chip instead
+  of through global memory, which is precisely the traffic the paper's
+  high-resolution setting amplifies.
+"""
+
+from __future__ import annotations
+
+from .base import AppBuilder, AppSpec, GeneratedApp, scaled_spec
+
+SPEC = AppSpec(
+    name="B-CALM",
+    domain=(256, 128, 16),
+    block=(32, 8, 1),
+    paper_kernels=23,
+    paper_arrays=24,
+    paper_speedup=(1.00, 1.25),
+    paper_targets=8,
+    paper_new_kernels=3,
+)
+
+
+def build(scale: float = 1.0, seed: int = 208) -> GeneratedApp:
+    spec = scaled_spec(SPEC, scale)
+    builder = AppBuilder(spec, seed=seed)
+
+    efield = [builder.new_array("E") for _ in range(3)]
+    hfield = [builder.new_array("H") for _ in range(3)]
+    poles = [builder.new_array("P") for _ in range(12)]
+    eps = [builder.new_array("eps") for _ in range(6)]
+
+    # per-pole polarization updates; component pairs share a field array
+    # (separable into 3 fragments each); the r=1 field reads WAR-lock the
+    # whole kernel against fusing with the field updates
+    builder.fused_like_kernel(
+        "pole_update_e",
+        [
+            (poles[j], [(efield[j // 2], 1), (eps[j // 2], 0)])
+            for j in range(6)
+        ],
+    )
+    # E update: curl of H (r=3) plus the pole intermediates of a *different*
+    # component (so a pole fragment and a field fragment can fuse after
+    # fission without touching the array the other one writes)
+    builder.fused_like_kernel(
+        "e_update",
+        [
+            (
+                efield[i],
+                [
+                    (hfield[(i + 1) % 3], 3),
+                    (poles[2 * ((i + 1) % 3)], 0),
+                    (poles[2 * ((i + 1) % 3) + 1], 0),
+                ],
+            )
+            for i in range(3)
+        ],
+    )
+    builder.fused_like_kernel(
+        "pole_update_h",
+        [
+            (poles[6 + j], [(hfield[j // 2], 1), (eps[3 + j // 2], 0)])
+            for j in range(6)
+        ],
+    )
+    builder.fused_like_kernel(
+        "h_update",
+        [
+            (
+                hfield[i],
+                [
+                    (efield[(i + 1) % 3], 3),
+                    (poles[6 + 2 * ((i + 1) % 3)], 0),
+                    (poles[6 + 2 * ((i + 1) % 3) + 1], 0),
+                ],
+            )
+            for i in range(3)
+        ],
+    )
+    # observable extractions (regular stencil targets)
+    builder.stencil_kernel("poynting_x", eps[0], [(efield[1], 0), (hfield[2], 0)])
+    builder.stencil_kernel("poynting_y", eps[1], [(efield[2], 0), (hfield[0], 0)])
+    builder.stencil_kernel("flux_probe", eps[2], [(efield[0], 1)])
+    builder.stencil_kernel("energy_density", eps[3], [(efield[0], 0), (hfield[0], 0)])
+
+    # excluded: PML boundary kernels on the domain faces + source setup
+    for idx in range(12):
+        builder.boundary_kernel(
+            f"pml{idx:02d}", poles[idx], efield[idx % 3]
+        )
+    builder.compute_bound_kernel("drude_setup", eps[4], eps[5], intensity=16)
+    builder.compute_bound_kernel("source_wave", eps[5], eps[4], intensity=16)
+    builder.boundary_kernel("inject_plane", efield[0], eps[0])
+
+    return builder.build()

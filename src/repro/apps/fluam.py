@@ -1,0 +1,81 @@
+"""Fluam stand-in: fluctuating-hydrodynamics solver (§6.1.1).
+
+The largest codebase of the evaluation: ~169 kernels (144 data arrays), of
+which only ~42 survive the target filter.  The structural anomaly the
+paper reports: a set of *latency-bound* kernels (poor computation/memory
+overlap at tiny launch sizes) whose metadata looks memory-bound, so the
+automated filter keeps them as targets, bloating the search space and
+slowing GGA convergence — only manual filtering removes them (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from .base import AppBuilder, AppSpec, GeneratedApp, scaled_spec
+
+SPEC = AppSpec(
+    name="Fluam",
+    domain=(128, 64, 8),
+    block=(32, 2, 1),
+    paper_kernels=169,
+    paper_arrays=144,
+    paper_targets=42,
+    paper_new_kernels=17,
+    paper_speedup=(1.15, 1.30),
+)
+
+
+def build(scale: float = 1.0, seed: int = 8484) -> GeneratedApp:
+    spec = scaled_spec(SPEC, scale)
+    builder = AppBuilder(spec, seed=seed)
+    rng = builder.rng
+
+    n_arrays = max(10, int(144 * scale))
+    n_targets = max(5, int(32 * scale))     # genuinely useful targets
+    n_latency = max(2, int(10 * scale))     # false targets (the anomaly)
+    n_boundary = max(2, int(60 * scale))
+    n_compute = max(2, int(67 * scale))
+
+    n_fluid = max(4, n_arrays // 3)
+    fluid = builder.array_pool(n_fluid, prefix="v")
+    particles = builder.array_pool(n_arrays - n_fluid, prefix="p")
+
+    kid = 0
+    recent: list = []
+    for n in range(n_targets):
+        out = fluid[rng.randrange(len(fluid))]
+        ins = [(fluid[rng.randrange(len(fluid))], rng.choice((0, 1, 1)))]
+        if recent and rng.random() < 0.3:
+            src = recent[-1]
+            if src != out:
+                ins.append((src, 0))
+        seen = set()
+        ins = [x for x in ins if x[0] != out and (x[0] not in seen and not seen.add(x[0]))]
+        if not ins:
+            ins = [(fluid[(fluid.index(out) + 1) % len(fluid)], 1)]
+        builder.stencil_kernel(f"F{kid:03d}", out, ins)
+        kid += 1
+        recent.append(out)
+        if len(recent) > 5:
+            recent.pop(0)
+
+    for n in range(n_latency):
+        out = particles[rng.randrange(len(particles))]
+        src = particles[(particles.index(out) + 1) % len(particles)]
+        builder.latency_kernel(f"L{kid:03d}", out, src)
+        kid += 1
+
+    for n in range(n_boundary):
+        builder.boundary_kernel(
+            f"FB{kid:03d}",
+            particles[rng.randrange(len(particles))],
+            fluid[rng.randrange(len(fluid))],
+        )
+        kid += 1
+
+    for n in range(n_compute):
+        out = particles[rng.randrange(len(particles))]
+        src = particles[(particles.index(out) + 1) % len(particles)]
+        builder.compute_bound_kernel(f"FC{kid:03d}", out, src, intensity=12)
+        kid += 1
+
+    return builder.build()

@@ -1,0 +1,106 @@
+"""HOMME stand-in: CAM's dynamical core (§6.1.1).
+
+~43 kernels over 30 arrays, 22 of them memory-bound fusion targets.  The
+distinguishing structural feature is the *variety of loop bounds and guard
+extents* across kernels — the source of the intra-warp divergence the
+paper traces HOMME's automated-vs-manual gap to (Fig. 7): fused segments
+get aligned to common bounds with conditionals, and two-sided guard
+emission (automated) diverges more than the manually accumulated
+one-sided form.
+
+Problem size: paper 4x260x11 (elements x columns x levels); generator uses
+a 16x64x11 grid with level loops of varying depth (11, 10, 8).
+"""
+
+from __future__ import annotations
+
+from .base import AppBuilder, AppSpec, GeneratedApp, scaled_spec
+
+SPEC = AppSpec(
+    name="HOMME",
+    domain=(64, 128, 11),
+    block=(16, 4, 1),
+    paper_kernels=43,
+    paper_arrays=30,
+    paper_targets=22,
+    paper_new_kernels=9,
+    paper_speedup=(1.20, 1.40),
+)
+
+
+def build(scale: float = 1.0, seed: int = 2604) -> GeneratedApp:
+    spec = scaled_spec(SPEC, scale)
+    builder = AppBuilder(spec, seed=seed)
+    rng = builder.rng
+
+    n_arrays = max(8, int(30 * scale))
+    n_targets = max(4, int(22 * scale))
+    n_boundary = max(1, int(9 * scale))
+    n_compute = max(1, int(12 * scale))
+
+    n_state = max(3, n_arrays // 2)
+    state = builder.array_pool(n_state, prefix="u")
+    tracers = builder.array_pool(n_arrays - n_state, prefix="t")
+
+    kid = 0
+    # two combined (almost-fused) dynamics kernels with separable
+    # components; their halo reads of each other's outputs WAR-lock
+    # whole-kernel fusion, so only fission unlocks the pairwise locality
+    # (the reason programmer-guided + fission beats manual fusion, 6.2.2)
+    if n_targets >= 6:
+        builder.fused_like_kernel(
+            "vortdiv",
+            [
+                (state[j], [(tracers[j], 2), (state[2 + j], 1)])
+                for j in range(2)
+            ],
+        )
+        builder.fused_like_kernel(
+            "energy",
+            [
+                (state[2 + j], [(tracers[(j + 1) % 2], 2), (tracers[2 + j], 0)])
+                for j in range(2)
+            ],
+        )
+        n_targets -= 2
+
+    # the divergence driver: kernels iterate different vertical extents
+    level_bounds = (11, 10, 8)
+    recent: list = []
+    for n in range(n_targets):
+        out = state[rng.randrange(len(state))]
+        ins = [(tracers[rng.randrange(len(tracers))], rng.choice((0, 1)))]
+        if recent and rng.random() < 0.4:
+            src = recent[-1]
+            if src != out:
+                ins.append((src, 0))
+        seen = set()
+        ins = [x for x in ins if x[0] != out and (x[0] not in seen and not seen.add(x[0]))]
+        if not ins:
+            ins = [(tracers[0], 1)]
+        builder.stencil_kernel(
+            f"H{kid:02d}",
+            out,
+            ins,
+            loop_bound=level_bounds[n % len(level_bounds)],
+        )
+        kid += 1
+        recent.append(out)
+        if len(recent) > 4:
+            recent.pop(0)
+
+    for n in range(n_boundary):
+        builder.boundary_kernel(
+            f"HB{kid:02d}",
+            state[rng.randrange(len(state))],
+            tracers[rng.randrange(len(tracers))],
+        )
+        kid += 1
+
+    for n in range(n_compute):
+        out = tracers[rng.randrange(len(tracers))]
+        src = state[rng.randrange(len(state))]
+        builder.compute_bound_kernel(f"HC{kid:02d}", out, src)
+        kid += 1
+
+    return builder.build()

@@ -1,0 +1,37 @@
+"""Registry of the six application generators (§6.1.1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import awp_odc, bcalm, fluam, homme, mitgcm, scale_les
+from .base import GeneratedApp
+
+#: name -> build(scale, seed) callable
+APPS: Dict[str, Callable[..., GeneratedApp]] = {
+    "SCALE-LES": scale_les.build,
+    "HOMME": homme.build,
+    "Fluam": fluam.build,
+    "MITgcm": mitgcm.build,
+    "AWP-ODC-GPU": awp_odc.build,
+    "B-CALM": bcalm.build,
+}
+
+SPECS = {
+    "SCALE-LES": scale_les.SPEC,
+    "HOMME": homme.SPEC,
+    "Fluam": fluam.SPEC,
+    "MITgcm": mitgcm.SPEC,
+    "AWP-ODC-GPU": awp_odc.SPEC,
+    "B-CALM": bcalm.SPEC,
+}
+
+APP_NAMES: List[str] = list(APPS)
+
+
+def build_app(name: str, scale: float = 1.0, seed: int = 0) -> GeneratedApp:
+    """Build one application by name (seed 0 uses each app's default)."""
+    builder = APPS[name]
+    if seed:
+        return builder(scale=scale, seed=seed)
+    return builder(scale=scale)

@@ -1,0 +1,107 @@
+"""SCALE-LES stand-in: next-generation weather model (§6.1.1).
+
+Structural profile reproduced from the paper: ~142 kernels over 63 data
+arrays, most of them memory-bound iterative stencils in the dynamical
+core; a minority of boundary-condition and compute-bound (physics) kernels
+are filtered out, leaving ~117 fusion targets.  A handful of kernels carry
+*deep nested loops*, the known automated-codegen weakness (Fig. 6: K_07,
+K_15, K_16, K_23).
+
+Problem size: the paper uses 1280x32x32; the generator defaults to a
+reduced 128x32x16 domain (weak-scaling argument, §7 "Sensitivity to
+input") so the simulator can verify outputs quickly.
+"""
+
+from __future__ import annotations
+
+from .base import AppBuilder, AppSpec, GeneratedApp, scaled_spec
+
+SPEC = AppSpec(
+    name="SCALE-LES",
+    domain=(256, 64, 16),
+    block=(32, 8, 1),
+    paper_kernels=142,
+    paper_arrays=63,
+    paper_targets=117,
+    paper_new_kernels=38,
+    paper_speedup=(1.30, 1.45),
+)
+
+
+def build(scale: float = 1.0, seed: int = 2015) -> GeneratedApp:
+    """Generate the SCALE-LES stand-in.
+
+    ``scale`` in (0, 1] shrinks the kernel/array counts proportionally
+    (structure preserved) for fast tests.
+    """
+    spec = scaled_spec(SPEC, scale)
+    builder = AppBuilder(spec, seed=seed)
+    rng = builder.rng
+
+    n_arrays = max(8, int(63 * scale))
+    n_stencil = max(6, int(111 * scale))
+    n_deep = max(1, int(6 * scale))
+    n_boundary = max(1, int(15 * scale))
+    n_compute = max(1, int(10 * scale))
+
+    # prognostic fields (written), forcing/constant fields (read widely)
+    n_forcing = max(3, n_arrays // 6)
+    forcing = builder.array_pool(n_forcing, prefix="f")
+    fields = builder.array_pool(n_arrays - n_forcing, prefix="q")
+
+    kid = 0
+    recent: list = []
+    # The dynamical core proceeds in *phases*: each phase's kernels update
+    # different prognostic fields from the same few shared inputs (density,
+    # pressure, velocities, ...), which is where the reducible inter-kernel
+    # traffic the paper quantifies (41% for SCALE-LES) comes from.
+    emitted = 0
+    while emitted < n_stencil:
+        phase_size = min(rng.choice((4, 5, 6)), n_stencil - emitted)
+        shared_inputs = rng.sample(forcing, min(2, len(forcing)))
+        outs = rng.sample(fields, min(phase_size, len(fields)))
+        for slot in range(phase_size):
+            out = outs[slot % len(outs)]
+            ins = [(arr, rng.choice((1, 1, 2))) for arr in shared_inputs]
+            extra = forcing[rng.randrange(len(forcing))]
+            if extra not in shared_inputs:
+                ins.append((extra, rng.choice((0, 1))))
+            # occasional chain on a recently written field (precedence)
+            if recent and rng.random() < 0.15:
+                src = recent[rng.randrange(len(recent))]
+                if src != out and src not in [a for a, _ in ins]:
+                    ins.append((src, 0))
+            ins = [x for x in ins if x[0] != out]
+            if not ins:
+                ins = [(forcing[0], 1)]
+            builder.stencil_kernel(f"K{kid:03d}", out, ins)
+            kid += 1
+            emitted += 1
+            recent.append(out)
+            if len(recent) > 6:
+                recent.pop(0)
+
+    for n in range(n_deep):
+        out = fields[rng.randrange(len(fields))]
+        ins = [
+            (forcing[rng.randrange(len(forcing))], 1),
+            (forcing[rng.randrange(len(forcing))], 0),
+        ]
+        seen = set()
+        ins = [x for x in ins if x[0] not in seen and not seen.add(x[0])]
+        builder.deep_loop_kernel(f"K{kid:03d}", out, ins, inner_trips=4)
+        kid += 1
+
+    for n in range(n_boundary):
+        out = fields[rng.randrange(len(fields))]
+        src = forcing[rng.randrange(len(forcing))]
+        builder.boundary_kernel(f"B{kid:03d}", out, src)
+        kid += 1
+
+    for n in range(n_compute):
+        out = fields[rng.randrange(len(fields))]
+        src = fields[(fields.index(out) + 1) % len(fields)]
+        builder.compute_bound_kernel(f"C{kid:03d}", out, src)
+        kid += 1
+
+    return builder.build()

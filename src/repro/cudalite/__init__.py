@@ -1,0 +1,40 @@
+"""CudaLite: a CUDA-C dialect substrate (lexer, parser, AST, unparser).
+
+This package stands in for the ROSE compiler infrastructure the paper uses:
+it parses stencil CUDA programs into an AST, lets transformations manipulate
+the AST, and unparses back to readable source.
+"""
+
+from . import ast_nodes as ast
+from . import builders
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_expr, parse_kernel, parse_program
+from .semantics import (
+    BUILTIN_GEOMETRY,
+    HOST_INTRINSICS,
+    MATH_INTRINSICS,
+    KernelSymbols,
+    SemanticChecker,
+    check_program,
+)
+from .unparser import Unparser, unparse, unparse_expr
+
+__all__ = [
+    "ast",
+    "builders",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "parse_kernel",
+    "parse_expr",
+    "Unparser",
+    "unparse",
+    "unparse_expr",
+    "SemanticChecker",
+    "check_program",
+    "KernelSymbols",
+    "BUILTIN_GEOMETRY",
+    "MATH_INTRINSICS",
+    "HOST_INTRINSICS",
+]

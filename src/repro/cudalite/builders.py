@@ -1,0 +1,223 @@
+"""Convenience constructors for building CudaLite ASTs programmatically.
+
+The code generator and the application generators build a lot of AST; these
+helpers keep that code close to the shape of the emitted CUDA.  All helpers
+return the immutable nodes from :mod:`repro.cudalite.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from . import ast_nodes as ast
+
+ExprLike = Union[ast.Expr, int, float, str]
+
+
+def expr(value: ExprLike) -> ast.Expr:
+    """Coerce a Python value into an expression node.
+
+    ``int`` → IntLit, ``float`` → FloatLit, ``str`` → Ident, Expr passes
+    through unchanged.
+    """
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, float):
+        return ast.FloatLit(value, _float_text(value))
+    if isinstance(value, str):
+        return ast.Ident(value)
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def _float_text(value: float) -> str:
+    text = repr(value)
+    return text
+
+
+def ident(name: str) -> ast.Ident:
+    return ast.Ident(name)
+
+
+def lit(value: Union[int, float]) -> ast.Expr:
+    return expr(value)
+
+
+def binop(op: str, lhs: ExprLike, rhs: ExprLike) -> ast.Binary:
+    return ast.Binary(op, expr(lhs), expr(rhs))
+
+
+def add(lhs: ExprLike, rhs: ExprLike) -> ast.Expr:
+    """``lhs + rhs`` with constant folding of zero / literal operands."""
+    left, right = expr(lhs), expr(rhs)
+    if isinstance(left, ast.IntLit) and left.value == 0:
+        return right
+    if isinstance(right, ast.IntLit) and right.value == 0:
+        return left
+    if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+        return ast.IntLit(left.value + right.value)
+    if isinstance(right, ast.IntLit) and right.value < 0:
+        return ast.Binary("-", left, ast.IntLit(-right.value))
+    return ast.Binary("+", left, right)
+
+
+def sub(lhs: ExprLike, rhs: ExprLike) -> ast.Expr:
+    left, right = expr(lhs), expr(rhs)
+    if isinstance(right, ast.IntLit) and right.value == 0:
+        return left
+    if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+        return ast.IntLit(left.value - right.value)
+    return ast.Binary("-", left, right)
+
+
+def mul(lhs: ExprLike, rhs: ExprLike) -> ast.Expr:
+    left, right = expr(lhs), expr(rhs)
+    if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+        return ast.IntLit(left.value * right.value)
+    if isinstance(left, ast.IntLit) and left.value == 1:
+        return right
+    if isinstance(right, ast.IntLit) and right.value == 1:
+        return left
+    return ast.Binary("*", left, right)
+
+
+def logical_and(*operands: ExprLike) -> ast.Expr:
+    """Fold a sequence of conditions with ``&&`` (left-assoc)."""
+    exprs = [expr(o) for o in operands]
+    if not exprs:
+        return ast.BoolLit(True)
+    result = exprs[0]
+    for item in exprs[1:]:
+        result = ast.Binary("&&", result, item)
+    return result
+
+
+def lt(lhs: ExprLike, rhs: ExprLike) -> ast.Binary:
+    return ast.Binary("<", expr(lhs), expr(rhs))
+
+
+def ge(lhs: ExprLike, rhs: ExprLike) -> ast.Binary:
+    return ast.Binary(">=", expr(lhs), expr(rhs))
+
+
+def idx(base: ExprLike, *indices: ExprLike) -> ast.Index:
+    """``base[i0][i1]...``"""
+    return ast.Index(expr(base), tuple(expr(i) for i in indices))
+
+
+def call(func: str, *args: ExprLike) -> ast.Call:
+    return ast.Call(func, tuple(expr(a) for a in args))
+
+
+def member(obj: ExprLike, field: str) -> ast.Member:
+    return ast.Member(expr(obj), field)
+
+
+def thread_idx(axis: str) -> ast.Member:
+    return ast.Member(ast.Ident("threadIdx"), axis)
+
+
+def block_idx(axis: str) -> ast.Member:
+    return ast.Member(ast.Ident("blockIdx"), axis)
+
+
+def block_dim(axis: str) -> ast.Member:
+    return ast.Member(ast.Ident("blockDim"), axis)
+
+
+def global_index(axis: str) -> ast.Expr:
+    """``blockIdx.a * blockDim.a + threadIdx.a`` — the canonical global id."""
+    return ast.Binary(
+        "+",
+        ast.Binary("*", block_idx(axis), block_dim(axis)),
+        thread_idx(axis),
+    )
+
+
+# --------------------------------------------------------------------- statements
+
+
+def decl(
+    type_name: str,
+    name: str,
+    init: Optional[ExprLike] = None,
+    *,
+    pointer: bool = False,
+    shared: bool = False,
+    dims: Sequence[ExprLike] = (),
+) -> ast.VarDecl:
+    return ast.VarDecl(
+        ast.TypeSpec(type_name, is_pointer=pointer),
+        name,
+        expr(init) if init is not None else None,
+        tuple(expr(d) for d in dims),
+        shared,
+    )
+
+
+def assign(target: ExprLike, value: ExprLike, op: str = "=") -> ast.Assign:
+    tgt = expr(target)
+    if not isinstance(tgt, (ast.Ident, ast.Index)):
+        raise TypeError("assignment target must be Ident or Index")
+    return ast.Assign(tgt, op, expr(value))
+
+
+def block(stmts: Iterable[ast.Stmt]) -> ast.Block:
+    return ast.Block(tuple(stmts))
+
+
+def if_(cond: ExprLike, then: Iterable[ast.Stmt], els: Optional[Iterable[ast.Stmt]] = None) -> ast.If:
+    return ast.If(
+        expr(cond),
+        block(then),
+        block(els) if els is not None else None,
+    )
+
+
+def for_(
+    var: str,
+    start: ExprLike,
+    bound: ExprLike,
+    body: Iterable[ast.Stmt],
+    *,
+    cmp: str = "<",
+    step: ExprLike = 1,
+) -> ast.For:
+    return ast.For(var, expr(start), cmp, expr(bound), expr(step), block(body))
+
+
+def sync() -> ast.SyncThreads:
+    return ast.SyncThreads()
+
+
+def launch(
+    kernel: str,
+    grid: Union[ast.Expr, Sequence[int]],
+    blk: Union[ast.Expr, Sequence[int]],
+    args: Sequence[ExprLike],
+) -> ast.Launch:
+    def _dim3(value) -> ast.Expr:
+        if isinstance(value, ast.Expr):
+            return value
+        return ast.Call("dim3", tuple(expr(v) for v in value))
+
+    return ast.Launch(kernel, _dim3(grid), _dim3(blk), tuple(expr(a) for a in args))
+
+
+def param(type_name: str, name: str, *, pointer: bool = False, const: bool = False) -> ast.Param:
+    return ast.Param(ast.TypeSpec(type_name, is_pointer=pointer, is_const=const), name)
+
+
+def kernel(name: str, params: Sequence[ast.Param], body: Iterable[ast.Stmt]) -> ast.KernelDef:
+    return ast.KernelDef(name, tuple(params), block(body))
+
+
+def host_main(body: Iterable[ast.Stmt]) -> ast.HostFunc:
+    return ast.HostFunc("main", ast.TypeSpec("int"), (), block(body))
+
+
+def program(items: Iterable[ast.Node]) -> ast.Program:
+    return ast.Program(tuple(items))

@@ -1,0 +1,150 @@
+"""Hand-written lexer for the CudaLite dialect.
+
+The lexer is a single linear scan producing :class:`~repro.cudalite.tokens.Token`
+objects.  It supports ``//`` line comments and ``/* */`` block comments and
+tracks 1-based line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import LexError
+from .tokens import KEYWORDS, PUNCTUATORS, TokKind, Token
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+class Lexer:
+    """Tokenizes CudaLite source text.
+
+    Parameters
+    ----------
+    source:
+        The program text.
+
+    Use :meth:`tokenize` to obtain the full token list (terminated by a
+    single EOF token).
+    """
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.src[idx] if idx < len(self.src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.src):
+                return
+            if self.src[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.src):
+                    raise LexError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    # -- token scanners -----------------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        is_float = False
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS | {""} and (
+            self._peek(1) in _DIGITS or self.pos > start
+        ):
+            is_float = True
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1) in _DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        # CUDA float suffixes
+        if self._peek() in ("f", "F"):
+            is_float = True
+            self._advance()
+        text = self.src[start : self.pos]
+        return Token(TokKind.FLOAT if is_float else TokKind.INT, text, line, col)
+
+    def _scan_ident(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _scan_punct(self) -> Token:
+        line, col = self.line, self.col
+        for punct in PUNCTUATORS:
+            if self.src.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokKind.PUNCT, punct, line, col)
+        raise LexError(f"unexpected character {self._peek()!r}", line, col)
+
+    # -- public API ----------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens one at a time, ending with an EOF token."""
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.src):
+                yield Token(TokKind.EOF, "", self.line, self.col)
+                return
+            ch = self._peek()
+            if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+                yield self._scan_number()
+            elif ch in _IDENT_START:
+                yield self._scan_ident()
+            else:
+                yield self._scan_punct()
+
+    def tokenize(self) -> List[Token]:
+        """Return the complete token list (terminated by EOF)."""
+        return list(self.tokens())
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

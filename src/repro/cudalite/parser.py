@@ -1,0 +1,467 @@
+"""Recursive-descent parser for the CudaLite dialect.
+
+The grammar is a subset of CUDA C restricted to what dense Cartesian-grid
+stencil programs need (the same restriction the paper states in its
+Limitations section): ``__global__`` kernels with canonical counted loops,
+``__shared__`` tiles, guards, and a simplified host side with
+``<<<grid, block>>>`` launches.
+
+The parser produces the immutable AST defined in
+:mod:`repro.cudalite.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .tokens import TokKind, Token
+
+_TYPE_KEYWORDS = ("void", "int", "float", "double", "bool", "dim3", "unsigned", "long")
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+# Binary operator precedence, higher binds tighter.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.cudalite.ast_nodes.Program`."""
+
+    def __init__(self, source: str) -> None:
+        self.toks: List[Token] = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.toks) - 1)
+        return self.toks[idx]
+
+    def _next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[Token] = None) -> ParseError:
+        tok = tok or self._peek()
+        return ParseError(f"{message} (got {tok.text!r})", tok.line, tok.col)
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._next()
+        if not tok.is_punct(text):
+            raise self._error(f"expected {text!r}", tok)
+        return tok
+
+    def _expect_kw(self, word: str) -> Token:
+        tok = self._next()
+        if not tok.is_kw(word):
+            raise self._error(f"expected keyword {word!r}", tok)
+        return tok
+
+    def _expect_ident(self) -> str:
+        tok = self._next()
+        if tok.kind is not TokKind.IDENT:
+            raise self._error("expected identifier", tok)
+        return tok.text
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    def _accept_kw(self, word: str) -> bool:
+        if self._peek().is_kw(word):
+            self._next()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ program
+
+    def parse_program(self) -> ast.Program:
+        """Parse a complete translation unit."""
+        items: List[ast.Node] = []
+        while self._peek().kind is not TokKind.EOF:
+            items.append(self._parse_top_item())
+        return ast.Program(tuple(items))
+
+    def _parse_top_item(self) -> ast.Node:
+        if self._peek().is_kw("__global__"):
+            return self._parse_kernel()
+        if self._is_type_start():
+            return self._parse_host_func()
+        raise self._error("expected kernel or host function")
+
+    def _is_type_start(self) -> bool:
+        tok = self._peek()
+        return tok.kind is TokKind.KEYWORD and tok.text in _TYPE_KEYWORDS + ("const",)
+
+    def _parse_kernel(self) -> ast.KernelDef:
+        self._expect_kw("__global__")
+        self._expect_kw("void")
+        name = self._expect_ident()
+        params = self._parse_params()
+        body = self._parse_block()
+        return ast.KernelDef(name, params, body)
+
+    def _parse_host_func(self) -> ast.HostFunc:
+        ret = self._parse_type()
+        name = self._expect_ident()
+        params = self._parse_params()
+        body = self._parse_block()
+        return ast.HostFunc(name, ret, params, body)
+
+    def _parse_type(self) -> ast.TypeSpec:
+        is_const = self._accept_kw("const")
+        tok = self._next()
+        if tok.kind is not TokKind.KEYWORD or tok.text not in _TYPE_KEYWORDS:
+            raise self._error("expected type", tok)
+        base = tok.text
+        if base == "unsigned" or base == "long":
+            # fold "unsigned int" / "long" spellings into plain int
+            if self._peek().is_kw("int") or self._peek().is_kw("long"):
+                self._next()
+            base = "int"
+        if not is_const:
+            is_const = self._accept_kw("const")
+        is_pointer = self._accept_punct("*")
+        self._accept_kw("__restrict__")
+        return ast.TypeSpec(base, is_pointer=is_pointer, is_const=is_const)
+
+    def _parse_params(self) -> Tuple[ast.Param, ...]:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect_ident()
+                params.append(ast.Param(ptype, pname))
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        return tuple(params)
+
+    # --------------------------------------------------------------- statements
+
+    def _parse_block(self) -> ast.Block:
+        self._expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokKind.EOF:
+                raise self._error("unexpected end of input in block")
+            stmts.append(self._parse_stmt())
+        self._expect_punct("}")
+        return ast.Block(tuple(stmts))
+
+    def _parse_stmt_or_block(self) -> ast.Block:
+        """Parse either a block or a single statement (wrapped in a Block)."""
+        if self._peek().is_punct("{"):
+            return self._parse_block()
+        return ast.Block((self._parse_stmt(),))
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_punct("{"):
+            return self._parse_block()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.is_kw("while"):
+            return self._parse_while()
+        if tok.is_kw("return"):
+            self._next()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(value)
+        if tok.is_kw("__shared__") or self._is_type_start():
+            return self._parse_decl()
+        if tok.kind is TokKind.IDENT and tok.text == "__syncthreads":
+            self._next()
+            self._expect_punct("(")
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.SyncThreads()
+        if tok.kind is TokKind.IDENT and self._peek(1).is_punct("<<<"):
+            return self._parse_launch()
+        return self._parse_simple_stmt()
+
+    def _parse_decl(self) -> ast.VarDecl:
+        is_shared = self._accept_kw("__shared__")
+        vtype = self._parse_type()
+        name = self._expect_ident()
+        dims: List[ast.Expr] = []
+        while self._accept_punct("["):
+            dims.append(self._parse_expr())
+            self._expect_punct("]")
+        init: Optional[ast.Expr] = None
+        if self._accept_punct("="):
+            init = self._parse_expr()
+        elif self._peek().is_punct("(") and vtype.base == "dim3":
+            # constructor-style dim3 declaration: dim3 grid(8, 8, 1);
+            self._next()
+            args: List[ast.Expr] = []
+            if not self._peek().is_punct(")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self._accept_punct(","):
+                        break
+            self._expect_punct(")")
+            init = ast.Call("dim3", tuple(args))
+        self._expect_punct(";")
+        return ast.VarDecl(vtype, name, init, tuple(dims), is_shared)
+
+    def _parse_if(self) -> ast.If:
+        self._expect_kw("if")
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_stmt_or_block()
+        els: Optional[ast.Block] = None
+        if self._accept_kw("else"):
+            els = self._parse_stmt_or_block()
+        return ast.If(cond, then, els)
+
+    def _parse_for(self) -> ast.For:
+        """Parse a canonical counted loop.
+
+        Supported forms::
+
+            for (int v = start; v <  bound; v++)      { ... }
+            for (int v = start; v <= bound; v += s)   { ... }
+            for (v = start;     v <  bound; ++v)      { ... }
+        """
+        self._expect_kw("for")
+        self._expect_punct("(")
+        # init
+        self._accept_kw("int")
+        var = self._expect_ident()
+        self._expect_punct("=")
+        start = self._parse_expr()
+        self._expect_punct(";")
+        # condition
+        cond_var = self._expect_ident()
+        if cond_var != var:
+            raise self._error(f"loop condition must test {var!r}")
+        cmp_tok = self._next()
+        if not (cmp_tok.is_punct("<") or cmp_tok.is_punct("<=")):
+            raise self._error("loop condition must use < or <=", cmp_tok)
+        bound = self._parse_expr()
+        self._expect_punct(";")
+        # update
+        step: ast.Expr = ast.IntLit(1)
+        if self._accept_punct("++"):  # ++v
+            upd_var = self._expect_ident()
+        else:
+            upd_var = self._expect_ident()
+            if self._accept_punct("++"):
+                pass
+            elif self._accept_punct("+="):
+                step = self._parse_expr()
+            elif self._accept_punct("="):
+                # v = v + s
+                lhs_name = self._expect_ident()
+                if lhs_name != var:
+                    raise self._error("loop update must increment the loop variable")
+                self._expect_punct("+")
+                step = self._parse_expr()
+            else:
+                raise self._error("unsupported loop update")
+        if upd_var != var:
+            raise self._error(f"loop update must modify {var!r}")
+        self._expect_punct(")")
+        body = self._parse_stmt_or_block()
+        return ast.For(var, start, cmp_tok.text, bound, step, body)
+
+    def _parse_while(self) -> ast.While:
+        self._expect_kw("while")
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt_or_block()
+        return ast.While(cond, body)
+
+    def _parse_launch(self) -> ast.Launch:
+        kernel = self._expect_ident()
+        self._expect_punct("<<<")
+        grid = self._parse_expr()
+        self._expect_punct(",")
+        block = self._parse_expr()
+        self._expect_punct(">>>")
+        self._expect_punct("(")
+        args: List[ast.Expr] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Launch(kernel, grid, block, tuple(args))
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment, increment or expression statement."""
+        expr = self._parse_expr()
+        tok = self._peek()
+        if tok.kind is TokKind.PUNCT and tok.text in _ASSIGN_OPS:
+            op = self._next().text
+            value = self._parse_expr()
+            self._expect_punct(";")
+            if not isinstance(expr, (ast.Ident, ast.Index)):
+                raise self._error("assignment target must be a variable or subscript")
+            return ast.Assign(expr, op, value)
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self._next()
+            self._expect_punct(";")
+            if not isinstance(expr, (ast.Ident, ast.Index)):
+                raise self._error("increment target must be a variable")
+            delta = "+=" if tok.text == "++" else "-="
+            return ast.Assign(expr, delta, ast.IntLit(1))
+        self._expect_punct(";")
+        return ast.ExprStmt(expr)
+
+    # -------------------------------------------------------------- expressions
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept_punct("?"):
+            then = self._parse_expr()
+            self._expect_punct(":")
+            els = self._parse_expr()
+            return ast.Ternary(cond, then, els)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokKind.PUNCT:
+                return lhs
+            prec = _PRECEDENCE.get(tok.text, 0)
+            if prec < min_prec or prec == 0:
+                return lhs
+            op = self._next().text
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(op, lhs, rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_punct("-") or tok.is_punct("!") or tok.is_punct("+"):
+            self._next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            # fold negative literals for cleaner ASTs
+            if tok.text == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value)
+            if tok.text == "-" and isinstance(operand, ast.FloatLit):
+                return ast.FloatLit(-operand.value, "-" + operand.text)
+            return ast.Unary(tok.text, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._peek().is_punct("["):
+                indices: List[ast.Expr] = []
+                while self._accept_punct("["):
+                    indices.append(self._parse_expr())
+                    self._expect_punct("]")
+                if isinstance(expr, ast.Index):
+                    expr = ast.Index(expr.base, expr.indices + tuple(indices))
+                else:
+                    expr = ast.Index(expr, tuple(indices))
+            elif self._peek().is_punct("."):
+                self._next()
+                field = self._expect_ident()
+                expr = ast.Member(expr, field)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind is TokKind.INT:
+            return ast.IntLit(int(tok.text))
+        if tok.kind is TokKind.FLOAT:
+            text = tok.text
+            value = float(text[:-1] if text[-1] in "fF" else text)
+            return ast.FloatLit(value, text)
+        if tok.is_kw("true"):
+            return ast.BoolLit(True)
+        if tok.is_kw("false"):
+            return ast.BoolLit(False)
+        if tok.is_kw("dim3"):
+            # dim3(...) constructor used as an expression
+            self._expect_punct("(")
+            args: List[ast.Expr] = []
+            if not self._peek().is_punct(")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self._accept_punct(","):
+                        break
+            self._expect_punct(")")
+            return ast.Call("dim3", tuple(args))
+        if tok.kind is TokKind.IDENT:
+            if self._peek().is_punct("("):
+                self._next()
+                args = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(tok.text, tuple(args))
+            return ast.Ident(tok.text)
+        if tok.is_punct("("):
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise self._error("expected expression", tok)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse CudaLite source text into a :class:`Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_kernel(source: str) -> ast.KernelDef:
+    """Parse a source fragment containing exactly one kernel definition."""
+    program = parse_program(source)
+    if len(program.kernels) != 1:
+        raise ParseError(
+            f"expected exactly one kernel, found {len(program.kernels)}"
+        )
+    return program.kernels[0]
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a standalone expression (useful in tests and builders)."""
+    parser = Parser(source)
+    expr = parser._parse_expr()
+    if parser._peek().kind is not TokKind.EOF:
+        raise parser._error("trailing tokens after expression")
+    return expr

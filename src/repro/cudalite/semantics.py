@@ -1,0 +1,289 @@
+"""Static semantic checks and symbol information for CudaLite programs.
+
+The checker validates the invariants the rest of the pipeline relies on:
+
+* every launched kernel is defined and called with the right arity;
+* kernels only reference their parameters, locals, loop variables and the
+  CUDA builtins (``threadIdx``/``blockIdx``/``blockDim``/``gridDim`` and the
+  math intrinsics);
+* pointer parameters are only used as array bases (CudaLite has no pointer
+  arithmetic, which is how the dialect sidesteps the aliasing problem the
+  paper lists under Limitations);
+* ``__shared__`` declarations carry explicit constant dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..errors import SemanticError
+from . import ast_nodes as ast
+
+#: Builtin thread-geometry identifiers available inside kernels.
+BUILTIN_GEOMETRY = frozenset({"threadIdx", "blockIdx", "blockDim", "gridDim"})
+
+#: Math intrinsics usable inside kernels.
+MATH_INTRINSICS = frozenset(
+    {
+        "sqrt",
+        "fabs",
+        "abs",
+        "exp",
+        "log",
+        "sin",
+        "cos",
+        "tan",
+        "pow",
+        "min",
+        "max",
+        "fmin",
+        "fmax",
+        "floor",
+        "ceil",
+    }
+)
+
+#: Host-side intrinsics of the dialect.  ``cudaMalloc3D``/``cudaMalloc2D``/
+#: ``cudaMalloc1D`` allocate device arrays with explicit logical shape;
+#: ``deviceRandom``/``deviceFill`` stand in for host initialization + H2D
+#: copies; the rest mirror the CUDA runtime API.
+HOST_INTRINSICS = frozenset(
+    {
+        "cudaMalloc3D",
+        "cudaMalloc2D",
+        "cudaMalloc1D",
+        "cudaMemcpyToHost",
+        "cudaMemcpyToDevice",
+        "cudaDeviceSynchronize",
+        "cudaFree",
+        "deviceRandom",
+        "deviceFill",
+        "dim3",
+    }
+)
+
+
+@dataclass
+class KernelSymbols:
+    """Symbol information collected for one kernel."""
+
+    name: str
+    pointer_params: Tuple[str, ...]
+    scalar_params: Tuple[str, ...]
+    locals: Set[str] = field(default_factory=set)
+    shared_arrays: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+
+class SemanticChecker:
+    """Validates a program and gathers per-kernel symbol tables."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.kernel_symbols: Dict[str, KernelSymbols] = {}
+
+    def check(self) -> Dict[str, KernelSymbols]:
+        """Run all checks; returns per-kernel symbol info.
+
+        Raises
+        ------
+        SemanticError
+            On any violation.
+        """
+        names = [k.name for k in self.program.kernels]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SemanticError(f"duplicate kernel definitions: {sorted(duplicates)}")
+        for kern in self.program.kernels:
+            self.kernel_symbols[kern.name] = self._check_kernel(kern)
+        for host in self.program.host_funcs:
+            self._check_host(host)
+        return self.kernel_symbols
+
+    # ----------------------------------------------------------------- kernels
+
+    def _check_kernel(self, kern: ast.KernelDef) -> KernelSymbols:
+        pointer_params = tuple(p.name for p in kern.pointer_params())
+        scalar_params = tuple(p.name for p in kern.scalar_params())
+        syms = KernelSymbols(kern.name, pointer_params, scalar_params)
+        scope: Set[str] = set(pointer_params) | set(scalar_params)
+        self._check_stmts(kern, kern.body.stmts, scope, syms)
+        return syms
+
+    def _check_stmts(
+        self,
+        kern: ast.KernelDef,
+        stmts: Tuple[ast.Stmt, ...],
+        scope: Set[str],
+        syms: KernelSymbols,
+    ) -> None:
+        local_scope = set(scope)
+        for stmt in stmts:
+            self._check_stmt(kern, stmt, local_scope, syms)
+
+    def _check_stmt(
+        self,
+        kern: ast.KernelDef,
+        stmt: ast.Stmt,
+        scope: Set[str],
+        syms: KernelSymbols,
+    ) -> None:
+        where = f"kernel {kern.name!r}"
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.is_shared:
+                if not stmt.array_dims:
+                    raise SemanticError(
+                        f"{where}: __shared__ {stmt.name} needs array dimensions"
+                    )
+                dims: List[int] = []
+                for dim in stmt.array_dims:
+                    value = _const_int(dim)
+                    if value is None or value <= 0:
+                        raise SemanticError(
+                            f"{where}: __shared__ {stmt.name} dims must be "
+                            "positive integer constants"
+                        )
+                    dims.append(value)
+                syms.shared_arrays[stmt.name] = tuple(dims)
+            if stmt.init is not None:
+                self._check_expr(kern, stmt.init, scope, syms)
+            scope.add(stmt.name)
+            syms.locals.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(kern, stmt.target, scope, syms, is_store=True)
+            self._check_expr(kern, stmt.value, scope, syms)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(kern, stmt.expr, scope, syms)
+        elif isinstance(stmt, ast.SyncThreads):
+            pass
+        elif isinstance(stmt, ast.If):
+            self._check_expr(kern, stmt.cond, scope, syms)
+            self._check_stmts(kern, stmt.then.stmts, scope, syms)
+            if stmt.els is not None:
+                self._check_stmts(kern, stmt.els.stmts, scope, syms)
+        elif isinstance(stmt, ast.For):
+            self._check_expr(kern, stmt.start, scope, syms)
+            self._check_expr(kern, stmt.bound, scope, syms)
+            self._check_expr(kern, stmt.step, scope, syms)
+            inner = set(scope)
+            inner.add(stmt.var)
+            syms.locals.add(stmt.var)
+            self._check_stmts(kern, stmt.body.stmts, inner, syms)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(kern, stmt.cond, scope, syms)
+            self._check_stmts(kern, stmt.body.stmts, scope, syms)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                raise SemanticError(f"{where}: kernels cannot return a value")
+        elif isinstance(stmt, ast.Block):
+            self._check_stmts(kern, stmt.stmts, scope, syms)
+        elif isinstance(stmt, ast.Launch):
+            raise SemanticError(f"{where}: kernels cannot launch kernels")
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"{where}: unsupported statement {type(stmt).__name__}")
+
+    def _check_expr(
+        self,
+        kern: ast.KernelDef,
+        expr: ast.Expr,
+        scope: Set[str],
+        syms: KernelSymbols,
+        is_store: bool = False,
+    ) -> None:
+        where = f"kernel {kern.name!r}"
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return
+        if isinstance(expr, ast.Ident):
+            if expr.name in BUILTIN_GEOMETRY:
+                raise SemanticError(
+                    f"{where}: {expr.name} must be accessed via .x/.y/.z"
+                )
+            if expr.name in syms.pointer_params and not is_store:
+                # bare pointer use (aliasing) is forbidden
+                raise SemanticError(
+                    f"{where}: pointer {expr.name!r} used without subscripts"
+                )
+            if expr.name not in scope and expr.name not in syms.shared_arrays:
+                raise SemanticError(f"{where}: undefined name {expr.name!r}")
+            return
+        if isinstance(expr, ast.Member):
+            if not (
+                isinstance(expr.obj, ast.Ident)
+                and expr.obj.name in BUILTIN_GEOMETRY
+                and expr.field_name in ("x", "y", "z")
+            ):
+                raise SemanticError(f"{where}: unsupported member access")
+            return
+        if isinstance(expr, ast.Index):
+            name = expr.array_name
+            if name is None:
+                raise SemanticError(f"{where}: subscript base must be a name")
+            if name not in syms.pointer_params and name not in syms.shared_arrays:
+                raise SemanticError(
+                    f"{where}: subscript of non-array {name!r}"
+                )
+            for index in expr.indices:
+                self._check_expr(kern, index, scope, syms)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.func not in MATH_INTRINSICS:
+                raise SemanticError(f"{where}: unknown function {expr.func!r}")
+            for arg in expr.args:
+                self._check_expr(kern, arg, scope, syms)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(kern, expr.operand, scope, syms)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(kern, expr.lhs, scope, syms)
+            self._check_expr(kern, expr.rhs, scope, syms)
+            return
+        if isinstance(expr, ast.Ternary):
+            self._check_expr(kern, expr.cond, scope, syms)
+            self._check_expr(kern, expr.then, scope, syms)
+            self._check_expr(kern, expr.els, scope, syms)
+            return
+        raise SemanticError(f"{where}: unsupported expression {type(expr).__name__}")
+
+    # -------------------------------------------------------------------- host
+
+    def _check_host(self, host: ast.HostFunc) -> None:
+        kernels = {k.name: k for k in self.program.kernels}
+        for node in host.body.walk():
+            if isinstance(node, ast.Launch):
+                if node.kernel not in kernels:
+                    raise SemanticError(
+                        f"host {host.name!r}: launch of undefined kernel "
+                        f"{node.kernel!r}"
+                    )
+                expected = len(kernels[node.kernel].params)
+                if len(node.args) != expected:
+                    raise SemanticError(
+                        f"host {host.name!r}: kernel {node.kernel!r} expects "
+                        f"{expected} args, got {len(node.args)}"
+                    )
+
+
+def _const_int(expr: ast.Expr):
+    """Evaluate an expression to an int constant if trivially possible."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Binary):
+        lhs = _const_int(expr.lhs)
+        rhs = _const_int(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else None,
+        }
+        fn = ops.get(expr.op)
+        return fn(lhs, rhs) if fn else None
+    return None
+
+
+def check_program(program: ast.Program) -> Dict[str, KernelSymbols]:
+    """Validate ``program``; returns per-kernel symbol tables."""
+    return SemanticChecker(program).check()

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro framework.
+
+Every error raised by the framework derives from :class:`ReproError` so that
+callers embedding the transformation pipeline can catch a single base class.
+The hierarchy mirrors the pipeline stages: language-processing errors
+(lexing/parsing/semantics), analysis errors, graph errors, search errors and
+code-generation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class CudaLiteError(ReproError):
+    """Base class for errors in the CudaLite language substrate."""
+
+
+class LexError(CudaLiteError):
+    """A character sequence could not be tokenized.
+
+    Carries the 1-based source ``line`` and ``col`` of the offending
+    character so tooling can point at the exact location.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class ParseError(CudaLiteError):
+    """The token stream does not form a valid CudaLite program."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class SemanticError(CudaLiteError):
+    """The program parses but violates CudaLite static semantics."""
+
+
+class InterpreterError(ReproError):
+    """Runtime failure while executing a CudaLite program on the simulator."""
+
+
+class OutOfBoundsError(InterpreterError):
+    """An active thread accessed an array outside its bounds."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass could not process a kernel."""
+
+
+class GraphError(ReproError):
+    """DDG/OEG construction or optimization failed."""
+
+
+class SearchError(ReproError):
+    """The optimization (GGA) stage failed or was misconfigured."""
+
+
+class TransformError(ReproError):
+    """Code generation (fission/fusion) failed."""
+
+
+class PipelineError(ReproError):
+    """End-to-end pipeline orchestration failure (bad stage order etc.)."""

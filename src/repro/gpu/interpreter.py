@@ -1,0 +1,835 @@
+"""Execution of CudaLite programs on the simulator substrate.
+
+This module plays the role of the GPU in the reproduction: it executes
+CudaLite programs *bit-faithfully* so that — exactly as in the paper's
+methodology — the output of every transformed program can be verified
+against the output of the original program.
+
+Two execution strategies are used:
+
+``vectorized`` (default for kernels without ``__shared__``)
+    Thread-varying values are represented as numpy arrays broadcast over the
+    full thread lattice; each statement executes for all threads before the
+    next starts.  This matches CUDA semantics for data-parallel stencil
+    kernels (no inter-thread communication).
+
+``per-block`` (automatic for kernels that declare ``__shared__`` tiles)
+    Blocks execute one at a time (a Python loop over the launch grid), with
+    a real per-block shared-memory array.  This faithfully reproduces the
+    *scope* of shared memory: a tile only sees the values its own block
+    staged, so generated code with insufficient halo layers produces wrong
+    answers here just as it would on hardware.
+
+Statements act as implicit barriers in both modes (a vectorized statement
+completes for every thread before the next begins).  ``__syncthreads()``
+placement is additionally validated statically by the transformation tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cudalite import ast_nodes as ast
+from ..errors import InterpreterError, OutOfBoundsError
+
+Scalar = Union[int, float, bool]
+Value = Union[Scalar, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A launch-configuration triple."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+
+@dataclass
+class DeviceArray:
+    """A device-resident array: numpy storage plus its logical shape."""
+
+    name: str
+    data: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+
+@dataclass
+class LaunchRecord:
+    """Trace entry for one kernel launch (consumed by the profiler)."""
+
+    kernel: str
+    grid: Dim3
+    block: Dim3
+    array_args: Tuple[str, ...]
+    scalar_args: Tuple[Scalar, ...] = ()
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a program's host code."""
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    launches: List[LaunchRecord] = field(default_factory=list)
+
+    def array(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+
+_MATH_FUNCS = {
+    "sqrt": np.sqrt,
+    "fabs": np.abs,
+    "abs": np.abs,
+    "exp": np.exp,
+    "log": np.log,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+_MATH_FUNCS2 = {
+    "pow": np.power,
+    "min": np.minimum,
+    "max": np.maximum,
+    "fmin": np.minimum,
+    "fmax": np.maximum,
+}
+
+
+def _is_int(value: Value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, np.integer)):
+        return True
+    return isinstance(value, np.ndarray) and np.issubdtype(value.dtype, np.integer)
+
+
+def _c_div(lhs: Value, rhs: Value) -> Value:
+    """C division: integer operands truncate toward zero, else float divide."""
+    if _is_int(lhs) and _is_int(rhs):
+        quotient = np.trunc(np.asarray(lhs, dtype=np.float64) / np.asarray(rhs))
+        result = quotient.astype(np.int64)
+        if np.ndim(result) == 0 and not isinstance(lhs, np.ndarray) and not isinstance(rhs, np.ndarray):
+            return int(result)
+        return result
+    return lhs / rhs
+
+
+def _c_mod(lhs: Value, rhs: Value) -> Value:
+    if _is_int(lhs) and _is_int(rhs):
+        return lhs - _c_div(lhs, rhs) * rhs
+    return np.fmod(lhs, rhs)
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _c_div,
+    "%": _c_mod,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "&&": lambda a, b: np.logical_and(a, b),
+    "||": lambda a, b: np.logical_or(a, b),
+}
+
+
+class _KernelExec:
+    """Executes one kernel launch."""
+
+    def __init__(
+        self,
+        kernel: ast.KernelDef,
+        grid: Dim3,
+        block: Dim3,
+        args: List[Value],
+        arrays: Dict[str, np.ndarray],
+        detect_races: bool = False,
+        block_order: str = "forward",
+    ) -> None:
+        self.kernel = kernel
+        self.grid = grid
+        self.block = block
+        self.arrays = arrays
+        self.detect_races = detect_races
+        self.block_order = block_order
+        self.env: Dict[str, Value] = {}
+        self.shared: Dict[str, np.ndarray] = {}
+        params = kernel.params
+        if len(args) != len(params):
+            raise InterpreterError(
+                f"kernel {kernel.name!r}: expected {len(params)} args, got {len(args)}"
+            )
+        for param, arg in zip(params, args):
+            self.env[param.name] = arg
+        # geometry placeholders, filled per execution mode
+        self.tidx: Dict[str, Value] = {}
+        self.bidx: Dict[str, Value] = {}
+        self.bdim = {"x": block.x, "y": block.y, "z": block.z}
+        self.gdim = {"x": grid.x, "y": grid.y, "z": grid.z}
+        self.lattice_shape: Tuple[int, ...] = ()
+
+    # ----------------------------------------------------------------- running
+
+    def uses_shared(self) -> bool:
+        return any(
+            isinstance(n, ast.VarDecl) and n.is_shared for n in self.kernel.body.walk()
+        )
+
+    def run(self) -> None:
+        if self.uses_shared():
+            self._run_per_block()
+        else:
+            self._run_vectorized()
+
+    def _run_vectorized(self) -> None:
+        gx, gy, gz = self.grid.as_tuple()
+        bx, by, bz = self.block.as_tuple()
+        nx, ny, nz = gx * bx, gy * by, gz * bz
+        self.lattice_shape = (nx, ny, nz)
+        ax = np.arange(nx).reshape(nx, 1, 1)
+        ay = np.arange(ny).reshape(1, ny, 1)
+        az = np.arange(nz).reshape(1, 1, nz)
+        self.tidx = {"x": ax % bx, "y": ay % by, "z": az % bz}
+        self.bidx = {"x": ax // bx, "y": ay // by, "z": az // bz}
+        base_env = dict(self.env)
+        self.env = base_env
+        mask = np.ones((), dtype=bool)  # scalar True: all threads active
+        self._exec_block(self.kernel.body, mask)
+
+    def _run_per_block(self) -> None:
+        bx, by, bz = self.block.as_tuple()
+        self.lattice_shape = (bx, by, bz)
+        self.tidx = {
+            "x": np.arange(bx).reshape(bx, 1, 1),
+            "y": np.arange(by).reshape(1, by, 1),
+            "z": np.arange(bz).reshape(1, 1, bz),
+        }
+        base_env = dict(self.env)
+        blocks = [
+            (gx, gy, gz)
+            for gz in range(self.grid.z)
+            for gy in range(self.grid.y)
+            for gx in range(self.grid.x)
+        ]
+        if self.block_order == "reverse":
+            blocks.reverse()
+        for gx, gy, gz in blocks:
+            self.bidx = {"x": gx, "y": gy, "z": gz}
+            self.env = dict(base_env)
+            self.shared = {}
+            mask = np.ones((), dtype=bool)
+            self._exec_block(self.kernel.body, mask)
+
+    # -------------------------------------------------------------- statements
+
+    def _exec_block(self, block: ast.Block, mask: Value) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, mask)
+
+    def _exec_stmt(self, stmt: ast.Stmt, mask: Value) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, mask)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, mask)
+        elif isinstance(stmt, ast.If):
+            cond = self._eval(stmt.cond, mask)
+            if isinstance(cond, np.ndarray) and cond.ndim > 0:
+                then_mask = np.logical_and(mask, cond)
+                if np.any(then_mask):
+                    self._exec_block(stmt.then, then_mask)
+                if stmt.els is not None:
+                    else_mask = np.logical_and(mask, np.logical_not(cond))
+                    if np.any(else_mask):
+                        self._exec_block(stmt.els, else_mask)
+            else:
+                if bool(cond):
+                    self._exec_block(stmt.then, mask)
+                elif stmt.els is not None:
+                    self._exec_block(stmt.els, mask)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, mask)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, mask)
+        elif isinstance(stmt, ast.SyncThreads):
+            pass  # statements already act as barriers in vectorized execution
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, mask)
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal()
+        elif isinstance(stmt, ast.Block):
+            self._exec_block(stmt, mask)
+        else:
+            raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
+
+    def _exec_decl(self, decl: ast.VarDecl, mask: Value) -> None:
+        if decl.is_shared:
+            dims = []
+            for dim in decl.array_dims:
+                value = self._eval_scalar(dim, "shared array dimension")
+                dims.append(int(value))
+            dtype = np.float64 if decl.type.base in ("double", "float") else np.int64
+            self.shared[decl.name] = np.zeros(tuple(dims), dtype=dtype)
+            return
+        if decl.array_dims:
+            raise InterpreterError(
+                f"local array {decl.name!r} without __shared__ is unsupported"
+            )
+        if decl.init is None:
+            value: Value = 0 if decl.type.base == "int" else 0.0
+        else:
+            value = self._eval(decl.init, mask)
+            if decl.type.base == "int":
+                value = self._as_int(value)
+            elif decl.type.base in ("double", "float"):
+                value = self._as_float(value)
+        self.env[decl.name] = value
+
+    def _as_int(self, value: Value) -> Value:
+        if isinstance(value, np.ndarray):
+            if not np.issubdtype(value.dtype, np.integer):
+                return np.trunc(value).astype(np.int64)
+            return value
+        return int(value)
+
+    def _as_float(self, value: Value) -> Value:
+        if isinstance(value, np.ndarray):
+            if not np.issubdtype(value.dtype, np.floating):
+                return value.astype(np.float64)
+            return value
+        return float(value)
+
+    def _exec_assign(self, stmt: ast.Assign, mask: Value) -> None:
+        value = self._eval(stmt.value, mask)
+        if stmt.op != "=":
+            current = self._eval(stmt.target, mask)
+            binop = stmt.op[0]
+            value = _BINOPS[binop](current, value)
+        target = stmt.target
+        if isinstance(target, ast.Ident):
+            self._store_scalar(target.name, value, mask)
+        elif isinstance(target, ast.Index):
+            self._store_array(target, value, mask)
+        else:
+            raise InterpreterError("invalid assignment target")
+
+    def _store_scalar(self, name: str, value: Value, mask: Value) -> None:
+        fully_active = not (isinstance(mask, np.ndarray) and mask.ndim > 0)
+        if fully_active:
+            self.env[name] = value
+            return
+        old = self.env.get(name)
+        if old is None:
+            old = 0
+        self.env[name] = np.where(mask, value, old)
+
+    def _lookup_array(self, name: str) -> np.ndarray:
+        if name in self.shared:
+            return self.shared[name]
+        value = self.env.get(name)
+        if isinstance(value, np.ndarray):
+            return value
+        raise InterpreterError(f"{name!r} is not an array")
+
+    def _index_arrays(
+        self, target: ast.Index, mask: Value
+    ) -> Tuple[np.ndarray, List[Value]]:
+        name = target.array_name
+        if name is None:
+            raise InterpreterError("array base must be a name")
+        arr = self._lookup_array(name)
+        if len(target.indices) != arr.ndim:
+            raise InterpreterError(
+                f"array {name!r} has {arr.ndim} dims, indexed with "
+                f"{len(target.indices)}"
+            )
+        idxs = [self._eval(e, mask) for e in target.indices]
+        return arr, idxs
+
+    def _validate_indices(
+        self,
+        name: str,
+        arr: np.ndarray,
+        idxs: List[Value],
+        mask: Value,
+    ) -> List[Value]:
+        """Check active-thread indices are in bounds; clip inactive ones."""
+        masked = isinstance(mask, np.ndarray) and mask.ndim > 0
+        safe: List[Value] = []
+        for axis, idx in enumerate(idxs):
+            extent = arr.shape[axis]
+            if isinstance(idx, np.ndarray) and idx.ndim > 0:
+                bad = (idx < 0) | (idx >= extent)
+                if masked:
+                    bad = np.logical_and(bad, mask)
+                if np.any(bad):
+                    raise OutOfBoundsError(
+                        f"array {name!r} axis {axis}: active thread index out of "
+                        f"[0, {extent}) during kernel {self.kernel.name!r}"
+                    )
+                safe.append(np.clip(idx, 0, extent - 1))
+            else:
+                value = int(idx)
+                if value < 0 or value >= extent:
+                    raise OutOfBoundsError(
+                        f"array {name!r} axis {axis}: index {value} out of "
+                        f"[0, {extent}) during kernel {self.kernel.name!r}"
+                    )
+                safe.append(value)
+        return safe
+
+    def _store_array(self, target: ast.Index, value: Value, mask: Value) -> None:
+        arr, idxs = self._index_arrays(target, mask)
+        name = target.array_name or "<anon>"
+        idxs = self._validate_indices(name, arr, idxs, mask)
+        vector_axes = [
+            i for i, idx in enumerate(idxs) if isinstance(idx, np.ndarray) and idx.ndim
+        ]
+        masked = isinstance(mask, np.ndarray) and mask.ndim > 0
+        if not vector_axes:
+            # thread-invariant store: every active thread hits one location
+            if masked and not np.any(mask):
+                return
+            if self.detect_races and isinstance(value, np.ndarray) and value.ndim:
+                if masked:
+                    shape = np.broadcast_shapes(value.shape, mask.shape)
+                    active_vals = np.broadcast_to(value, shape)[
+                        np.broadcast_to(mask, shape)
+                    ]
+                else:
+                    active_vals = np.asarray(value).ravel()
+                if active_vals.size > 1 and not np.all(
+                    active_vals == active_vals.flat[0]
+                ):
+                    raise InterpreterError(
+                        f"write-write race on array {name!r} in kernel "
+                        f"{self.kernel.name!r}"
+                    )
+            arr[tuple(int(i) for i in idxs)] = self._scalarize(value, mask)
+            return
+        broadcast = np.broadcast(*[np.asarray(i) for i in idxs])
+        shape = broadcast.shape
+        full_idxs = [np.broadcast_to(np.asarray(i), shape) for i in idxs]
+        value_arr = np.broadcast_to(np.asarray(value), shape)
+        if masked:
+            mask_arr = np.broadcast_to(mask, shape)
+            sel = tuple(ix[mask_arr] for ix in full_idxs)
+            if self.detect_races:
+                self._check_race(name, arr, sel, value_arr[mask_arr])
+            arr[sel] = value_arr[mask_arr]
+        else:
+            if self.detect_races:
+                flat = tuple(ix.ravel() for ix in full_idxs)
+                self._check_race(name, arr, flat, value_arr.ravel())
+            arr[tuple(full_idxs)] = value_arr
+
+    def _check_race(
+        self, name: str, arr: np.ndarray, sel: Tuple[np.ndarray, ...], values: np.ndarray
+    ) -> None:
+        """Detect two active threads writing different values to one cell."""
+        linear = np.ravel_multi_index(sel, arr.shape)
+        order = np.argsort(linear, kind="stable")
+        sorted_lin = linear[order]
+        sorted_val = np.asarray(values).ravel()[order]
+        dup = sorted_lin[1:] == sorted_lin[:-1]
+        if np.any(dup & (sorted_val[1:] != sorted_val[:-1])):
+            raise InterpreterError(
+                f"write-write race on array {name!r} in kernel "
+                f"{self.kernel.name!r}"
+            )
+
+    def _scalarize(self, value: Value, mask: Value) -> Scalar:
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            masked = isinstance(mask, np.ndarray) and mask.ndim > 0
+            if masked:
+                shape = np.broadcast_shapes(value.shape, mask.shape)
+                picked = np.broadcast_to(value, shape)[np.broadcast_to(mask, shape)]
+            else:
+                picked = value.ravel()
+            if picked.size == 0:
+                return 0
+            return picked.flat[0]
+        return value
+
+    def _exec_for(self, stmt: ast.For, mask: Value) -> None:
+        start = self._eval_scalar(stmt.start, "loop start")
+        bound = self._eval_scalar(stmt.bound, "loop bound")
+        step = self._eval_scalar(stmt.step, "loop step")
+        if step <= 0:
+            raise InterpreterError("loop step must be positive")
+        end = bound + 1 if stmt.cmp == "<=" else bound
+        saved = self.env.get(stmt.var, _MISSING)
+        value = start
+        while value < end:
+            self.env[stmt.var] = int(value)
+            self._exec_block(stmt.body, mask)
+            value += step
+        if saved is _MISSING:
+            self.env.pop(stmt.var, None)
+        else:
+            self.env[stmt.var] = saved
+
+    def _exec_while(self, stmt: ast.While, mask: Value) -> None:
+        iterations = 0
+        while True:
+            cond = self._eval(stmt.cond, mask)
+            if isinstance(cond, np.ndarray) and cond.ndim > 0:
+                raise InterpreterError("thread-dependent while condition unsupported")
+            if not bool(cond):
+                return
+            self._exec_block(stmt.body, mask)
+            iterations += 1
+            if iterations > 10_000_000:
+                raise InterpreterError("while loop exceeded iteration limit")
+
+    def _eval_scalar(self, expr: ast.Expr, what: str) -> Scalar:
+        value = self._eval(expr, np.ones((), dtype=bool))
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            raise InterpreterError(f"{what} must be thread-invariant")
+        if isinstance(value, np.ndarray):
+            return value.item()
+        return value
+
+    # ------------------------------------------------------------- expressions
+
+    def _eval(self, expr: ast.Expr, mask: Value) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise InterpreterError(
+                    f"undefined name {expr.name!r} in kernel {self.kernel.name!r}"
+                ) from None
+        if isinstance(expr, ast.Member):
+            return self._eval_member(expr)
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr, mask)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, mask)
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, mask)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return np.logical_not(operand)
+            return operand
+        if isinstance(expr, ast.Binary):
+            lhs = self._eval(expr.lhs, mask)
+            rhs = self._eval(expr.rhs, mask)
+            return _BINOPS[expr.op](lhs, rhs)
+        if isinstance(expr, ast.Ternary):
+            cond = self._eval(expr.cond, mask)
+            then = self._eval(expr.then, mask)
+            els = self._eval(expr.els, mask)
+            if isinstance(cond, np.ndarray) and cond.ndim > 0:
+                return np.where(cond, then, els)
+            return then if bool(cond) else els
+        raise InterpreterError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_member(self, expr: ast.Member) -> Value:
+        if not isinstance(expr.obj, ast.Ident):
+            raise InterpreterError("unsupported member access")
+        table = {
+            "threadIdx": self.tidx,
+            "blockIdx": self.bidx,
+            "blockDim": self.bdim,
+            "gridDim": self.gdim,
+        }.get(expr.obj.name)
+        if table is None:
+            raise InterpreterError(f"unknown builtin {expr.obj.name!r}")
+        return table[expr.field_name]
+
+    def _eval_index(self, expr: ast.Index, mask: Value) -> Value:
+        arr, idxs = self._index_arrays(expr, mask)
+        name = expr.array_name or "<anon>"
+        idxs = self._validate_indices(name, arr, idxs, mask)
+        if all(not (isinstance(i, np.ndarray) and i.ndim) for i in idxs):
+            return arr[tuple(int(i) for i in idxs)]
+        return arr[tuple(np.asarray(i) for i in idxs)]
+
+    def _eval_call(self, expr: ast.Call, mask: Value) -> Value:
+        args = [self._eval(a, mask) for a in expr.args]
+        if expr.func in _MATH_FUNCS:
+            if len(args) != 1:
+                raise InterpreterError(f"{expr.func} expects 1 argument")
+            return _MATH_FUNCS[expr.func](args[0])
+        if expr.func in _MATH_FUNCS2:
+            if len(args) != 2:
+                raise InterpreterError(f"{expr.func} expects 2 arguments")
+            return _MATH_FUNCS2[expr.func](args[0], args[1])
+        raise InterpreterError(f"unknown kernel function {expr.func!r}")
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+_MISSING = object()
+
+
+class HostInterpreter:
+    """Executes the host side of a CudaLite program (``main``).
+
+    Parameters
+    ----------
+    program:
+        The program to execute.
+    detect_races:
+        If True, kernel scatters check for write-write races (slower).
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        detect_races: bool = False,
+        execute_kernels: bool = True,
+        block_order: str = "forward",
+    ) -> None:
+        """``block_order`` ('forward' | 'reverse') sets the sequential order
+        in which per-block kernel execution visits thread blocks; running a
+        program under both orders and comparing outputs exposes inter-block
+        races that a single deterministic order would mask."""
+        self.program = program
+        self.detect_races = detect_races
+        self.execute_kernels = execute_kernels
+        self.block_order = block_order
+        self.env: Dict[str, Any] = {}
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.launches: List[LaunchRecord] = []
+        self._array_names: Dict[int, str] = {}
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> RunResult:
+        main = self.program.main()
+        try:
+            self._exec_stmts(main.body.stmts)
+        except _ReturnSignal:
+            pass
+        return RunResult(arrays=dict(self.arrays), launches=list(self.launches))
+
+    def _exec_stmts(self, stmts: Tuple[ast.Stmt, ...]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            if not isinstance(stmt.target, ast.Ident):
+                raise InterpreterError("host assignments must target scalars")
+            value = self._eval(stmt.value)
+            if stmt.op != "=":
+                value = _BINOPS[stmt.op[0]](self.env[stmt.target.name], value)
+            self.env[stmt.target.name] = value
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, statement=True)
+        elif isinstance(stmt, ast.Launch):
+            self._exec_launch(stmt)
+        elif isinstance(stmt, ast.If):
+            if bool(self._eval(stmt.cond)):
+                self._exec_stmts(stmt.then.stmts)
+            elif stmt.els is not None:
+                self._exec_stmts(stmt.els.stmts)
+        elif isinstance(stmt, ast.For):
+            start = int(self._eval(stmt.start))
+            bound = int(self._eval(stmt.bound))
+            step = int(self._eval(stmt.step))
+            end = bound + 1 if stmt.cmp == "<=" else bound
+            for value in range(start, end, step):
+                self.env[stmt.var] = value
+                self._exec_stmts(stmt.body.stmts)
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal()
+        elif isinstance(stmt, ast.Block):
+            self._exec_stmts(stmt.stmts)
+        else:
+            raise InterpreterError(
+                f"unsupported host statement {type(stmt).__name__}"
+            )
+
+    def _exec_decl(self, decl: ast.VarDecl) -> None:
+        init = decl.init
+        if decl.type.base == "dim3":
+            if not isinstance(init, ast.Call) or init.func != "dim3":
+                raise InterpreterError(f"dim3 {decl.name} needs a dim3(...) initializer")
+            dims = [int(self._eval(a)) for a in init.args]
+            while len(dims) < 3:
+                dims.append(1)
+            self.env[decl.name] = Dim3(*dims[:3])
+            return
+        if decl.type.is_pointer:
+            if not isinstance(init, ast.Call) or not init.func.startswith("cudaMalloc"):
+                raise InterpreterError(
+                    f"pointer {decl.name} must be initialized with cudaMallocND"
+                )
+            shape = tuple(int(self._eval(a)) for a in init.args)
+            expected = {"cudaMalloc1D": 1, "cudaMalloc2D": 2, "cudaMalloc3D": 3}[
+                init.func
+            ]
+            if len(shape) != expected:
+                raise InterpreterError(
+                    f"{init.func} expects {expected} extent args, got {len(shape)}"
+                )
+            dtype = np.float64 if decl.type.base in ("double", "float") else np.int64
+            data = np.zeros(shape, dtype=dtype)
+            self.arrays[decl.name] = data
+            self.env[decl.name] = data
+            self._array_names[id(data)] = decl.name
+            return
+        value = self._eval(init) if init is not None else 0
+        if decl.type.base == "int":
+            value = int(value)
+        self.env[decl.name] = value
+
+    def _exec_launch(self, stmt: ast.Launch) -> None:
+        kernel = self.program.kernel(stmt.kernel)
+        grid = self._eval_dim3(stmt.grid)
+        block = self._eval_dim3(stmt.block)
+        args = [self._eval(a) for a in stmt.args]
+        array_args = tuple(
+            self._array_names.get(id(a), "?")
+            for a in args
+            if isinstance(a, np.ndarray)
+        )
+        scalar_args = tuple(a for a in args if not isinstance(a, np.ndarray))
+        self.launches.append(LaunchRecord(stmt.kernel, grid, block, array_args, scalar_args))
+        if not self.execute_kernels:
+            return
+        executor = _KernelExec(
+            kernel, grid, block, args, self.arrays, self.detect_races,
+            self.block_order,
+        )
+        try:
+            executor.run()
+        except _ReturnSignal:
+            pass
+
+    def _eval_dim3(self, expr: ast.Expr) -> Dim3:
+        value = self._eval(expr)
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, (int, np.integer)):
+            return Dim3(int(value), 1, 1)
+        raise InterpreterError("launch configuration must be dim3 or int")
+
+    def _eval(self, expr: ast.Expr, statement: bool = False) -> Any:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise InterpreterError(f"undefined host name {expr.name!r}") from None
+        if isinstance(expr, ast.Binary):
+            return _BINOPS[expr.op](self._eval(expr.lhs), self._eval(expr.rhs))
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand)
+            return -value if expr.op == "-" else np.logical_not(value)
+        if isinstance(expr, ast.Call):
+            return self._eval_host_call(expr, statement)
+        raise InterpreterError(
+            f"unsupported host expression {type(expr).__name__}"
+        )
+
+    def _eval_host_call(self, expr: ast.Call, statement: bool) -> Any:
+        func = expr.func
+        if func == "dim3":
+            dims = [int(self._eval(a)) for a in expr.args]
+            while len(dims) < 3:
+                dims.append(1)
+            return Dim3(*dims[:3])
+        if func in ("cudaDeviceSynchronize",):
+            return 0
+        if func == "cudaFree":
+            return 0
+        if func in ("cudaMemcpyToHost", "cudaMemcpyToDevice"):
+            # logical no-op in the simulator: device arrays already live in
+            # host-visible numpy storage
+            return 0
+        if func == "deviceRandom":
+            if len(expr.args) != 2:
+                raise InterpreterError("deviceRandom(array, seed)")
+            arr = self._eval(expr.args[0])
+            seed = int(self._eval(expr.args[1]))
+            if not isinstance(arr, np.ndarray):
+                raise InterpreterError("deviceRandom target must be a device array")
+            rng = np.random.default_rng(seed)
+            arr[...] = rng.random(arr.shape)
+            return 0
+        if func == "deviceFill":
+            arr = self._eval(expr.args[0])
+            value = self._eval(expr.args[1])
+            if not isinstance(arr, np.ndarray):
+                raise InterpreterError("deviceFill target must be a device array")
+            arr[...] = value
+            return 0
+        if func in ("sqrt", "fabs", "exp"):
+            return _MATH_FUNCS[func](self._eval(expr.args[0]))
+        if func in ("min", "max"):
+            return _MATH_FUNCS2[func](
+                self._eval(expr.args[0]), self._eval(expr.args[1])
+            )
+        raise InterpreterError(f"unknown host function {func!r}")
+
+
+def run_program(
+    program: ast.Program,
+    detect_races: bool = False,
+    block_order: str = "forward",
+) -> RunResult:
+    """Execute ``program`` on the simulator and return final device arrays."""
+    return HostInterpreter(
+        program, detect_races=detect_races, block_order=block_order
+    ).run()
+
+
+def trace_launches(program: ast.Program) -> RunResult:
+    """Dry-run the host code: record launches without executing kernels.
+
+    Used by the metadata gatherer, which needs launch configurations and
+    actual argument bindings but not the numerical results.
+    """
+    return HostInterpreter(program, execute_kernels=False).run()
+
+
+def outputs_allclose(
+    a: RunResult, b: RunResult, rtol: float = 1e-10, atol: float = 1e-12
+) -> bool:
+    """Compare the device arrays of two runs (the paper's verification step)."""
+    if set(a.arrays) != set(b.arrays):
+        return False
+    return all(
+        np.allclose(a.arrays[name], b.arrays[name], rtol=rtol, atol=atol)
+        for name in a.arrays
+    )

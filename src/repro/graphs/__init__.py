@@ -1,0 +1,41 @@
+"""Dependency-graph substrate: DDG, OEG and DOT round-tripping."""
+
+from .ddg import (
+    ARRAY,
+    KERNEL,
+    DDGOptimizationReport,
+    InvocationIO,
+    array_id,
+    array_nodes,
+    arrays_of_invocation,
+    build_naive_ddg,
+    build_versioned_ddg,
+    invocation_id,
+    invocation_table,
+    kernel_nodes,
+    optimize_ddg,
+    split_array,
+    split_invocation,
+    validate_ddg,
+)
+from .dot import dot_to_graph, graph_to_dot, read_dot, write_dot
+from .oeg import (
+    build_oeg,
+    group_schedule,
+    internal_precedence,
+    is_convex,
+    reachability,
+    topological_order,
+    validate_oeg,
+)
+
+__all__ = [
+    "KERNEL", "ARRAY", "InvocationIO", "DDGOptimizationReport",
+    "invocation_id", "array_id", "split_invocation", "split_array",
+    "invocation_table", "build_naive_ddg", "build_versioned_ddg",
+    "optimize_ddg", "kernel_nodes", "array_nodes", "arrays_of_invocation",
+    "validate_ddg",
+    "build_oeg", "validate_oeg", "topological_order", "reachability",
+    "is_convex", "group_schedule", "internal_precedence",
+    "graph_to_dot", "dot_to_graph", "write_dot", "read_dot",
+]

@@ -1,0 +1,29 @@
+"""End-to-end transformation pipeline: stages, framework, CLI."""
+
+from .apply import (
+    GeneratedLaunch,
+    TransformResult,
+    materialize,
+    project_baseline,
+    project_transformed,
+)
+from .framework import Framework, transform_program
+from .stages import (
+    STAGES,
+    PipelineConfig,
+    PipelineState,
+    stage_codegen,
+    stage_graphs,
+    stage_metadata,
+    stage_search,
+    stage_targets,
+)
+
+__all__ = [
+    "Framework", "transform_program",
+    "PipelineConfig", "PipelineState", "STAGES",
+    "stage_metadata", "stage_targets", "stage_graphs",
+    "stage_search", "stage_codegen",
+    "materialize", "TransformResult", "GeneratedLaunch",
+    "project_baseline", "project_transformed",
+]

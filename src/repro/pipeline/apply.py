@@ -1,0 +1,327 @@
+"""Applying the search result: generate the transformed program (§3.2.5).
+
+Materializes a :class:`~repro.search.grouping.Grouping` chosen by the GGA:
+
+* groups of size one launch the original kernel (the *no fusion* case) or a
+  fission fragment;
+* larger groups are fused (`simple` or `complex` depending on internal
+  precedence), with thread-block tuning (§4.2) re-generating the kernel at
+  the occupancy-optimal block shape;
+* the host code is rewritten to invoke the new kernels in an order
+  compatible with the new OEG.
+
+If the code generator cannot realize a fusion the group degrades gracefully
+to per-member launches — the transformed program is always valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..cudalite import ast_nodes as ast
+from ..errors import TransformError
+from ..gpu.device import DeviceSpec
+from ..gpu.perfmodel import (
+    CodegenTraits,
+    KernelProjection,
+    ProgramProjection,
+    estimate_registers,
+    project_kernel,
+)
+from ..analysis.volume import estimate_volume
+from ..search.grouping import FusionProblem, Grouping
+from ..search.problem_builder import CodegenBinding
+from ..transform.blocksize import TuningDecision, tune_kernel_block
+from ..transform.fusion import (
+    Constituent,
+    FusedKernel,
+    FusionOptions,
+    make_constituent,
+)
+from ..transform.fusion import fuse_kernels
+from ..transform.hostcode import NewLaunch, assemble_program
+
+
+@dataclass
+class GeneratedLaunch:
+    """One launch of the transformed program, with projection inputs."""
+
+    kernel_name: str
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    members: Tuple[str, ...]
+    fused: Optional[FusedKernel] = None
+    node: Optional[str] = None  # for singleton launches
+
+
+@dataclass
+class TransformResult:
+    """The materialized transformation."""
+
+    program: ast.Program
+    launches: List[GeneratedLaunch]
+    tuning: List[TuningDecision]
+    #: groups the code generator had to degrade to per-member launches
+    degraded_groups: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def new_kernel_count(self) -> int:
+        return len({l.kernel_name for l in self.launches})
+
+    @property
+    def fused_kernels(self) -> List[FusedKernel]:
+        seen = set()
+        out = []
+        for launch in self.launches:
+            if launch.fused is not None and launch.kernel_name not in seen:
+                seen.add(launch.kernel_name)
+                out.append(launch.fused)
+        return out
+
+
+def _schedule_groups(
+    problem: FusionProblem, grouping: Grouping
+) -> List[FrozenSet[str]]:
+    """Topologically order the groups under the node-level OEG."""
+    active = grouping.active_nodes(problem)
+    oeg, _ = problem.node_oeg(active)
+    owner: Dict[str, int] = {}
+    for gid, group in enumerate(grouping.groups):
+        for node in group:
+            owner[node] = gid
+    condensed = nx.DiGraph()
+    condensed.add_nodes_from(range(len(grouping.groups)))
+    for u, v in oeg.edges:
+        gu, gv = owner[u], owner[v]
+        if gu != gv:
+            condensed.add_edge(gu, gv)
+    if not nx.is_directed_acyclic_graph(condensed):
+        raise TransformError("chosen grouping violates precedence")
+    min_order = [
+        min((problem.info(n).order for n in group), default=0.0)
+        for group in grouping.groups
+    ]
+    order = nx.lexicographical_topological_sort(
+        condensed, key=lambda g: min_order[g]
+    )
+    return [grouping.groups[g] for g in order]
+
+
+def _internal_raw_edges(
+    problem: FusionProblem, members: Sequence[str]
+) -> List[Tuple[int, int, str]]:
+    """Producer→consumer edges (by member position) inside one group."""
+    ordered = sorted(members, key=lambda n: problem.info(n).order)
+    index = {n: i for i, n in enumerate(ordered)}
+    edges: List[Tuple[int, int, str]] = []
+    last_writer: Dict[str, str] = {}
+    for node in ordered:
+        info = problem.info(node)
+        for array in sorted(info.arrays_read):
+            writer = last_writer.get(array)
+            if writer is not None and writer != node:
+                edges.append((index[writer], index[node], array))
+        for array in info.arrays_written:
+            last_writer[array] = node
+    return edges
+
+
+def _constituent(binding: CodegenBinding) -> Constituent:
+    return make_constituent(
+        binding.kernel,
+        binding.array_args,
+        binding.scalar_arg_exprs(),
+        binding.scalar_values,
+        binding.grid,
+        binding.block,
+    )
+
+
+def materialize(
+    original: ast.Program,
+    problem: FusionProblem,
+    bindings: Mapping[str, CodegenBinding],
+    grouping: Grouping,
+    device: DeviceSpec,
+    array_shapes: Mapping[str, Tuple[int, ...]],
+    options: Optional[FusionOptions] = None,
+    tune_blocks: bool = True,
+    initial_block: Optional[Tuple[int, int, int]] = None,
+) -> TransformResult:
+    """Generate the transformed program for ``grouping``.
+
+    ``initial_block`` defaults to the constituents' own launch block (the
+    fused kernel inherits the original configuration; §4.2's tuner then
+    improves it), matching how the paper reports occupancy before/after.
+    """
+    options = options or FusionOptions()
+    schedule = _schedule_groups(problem, grouping)
+
+    new_kernels: Dict[str, ast.KernelDef] = {}
+    launches: List[GeneratedLaunch] = []
+    tuning: List[TuningDecision] = []
+    degraded: List[Tuple[str, ...]] = []
+    fused_counter = 0
+
+    def singleton_launch(node: str) -> None:
+        binding = bindings[node]
+        new_kernels.setdefault(binding.kernel.name, binding.kernel)
+        args = tuple(ast.Ident(a) for a in binding.array_args) + binding.scalar_arg_exprs()
+        launches.append(
+            GeneratedLaunch(
+                kernel_name=binding.kernel.name,
+                grid=binding.grid,
+                block=binding.block,
+                members=(node,),
+                node=node,
+            )
+        )
+        _launch_args[id(launches[-1])] = args
+
+    _launch_args: Dict[int, Tuple[ast.Expr, ...]] = {}
+
+    for group in schedule:
+        ordered = sorted(group, key=lambda n: problem.info(n).order)
+        if len(ordered) == 1:
+            singleton_launch(ordered[0])
+            continue
+        name = f"K_{fused_counter:02d}"
+        precedence = _internal_raw_edges(problem, ordered)
+        constituents = [_constituent(bindings[n]) for n in ordered]
+        group_options = FusionOptions(**{**options.__dict__})
+        group_options.smem_limit = device.shared_mem_per_block
+        if initial_block is None:
+            blocks = [bindings[n].block for n in ordered]
+            start_block = max(set(blocks), key=blocks.count)
+        else:
+            start_block = initial_block
+        try:
+            fused = fuse_kernels(
+                name,
+                constituents,
+                start_block,
+                array_shapes,
+                precedence=precedence,
+                options=group_options,
+            )
+        except TransformError:
+            degraded.append(tuple(ordered))
+            for node in ordered:
+                singleton_launch(node)
+            continue
+        fused_counter += 1
+
+        if tune_blocks:
+            decision = tune_kernel_block(
+                device,
+                name,
+                fused.block,
+                fused.traits.smem_per_block,
+                fused.traits.regs_per_thread,
+                dims=2 if fused.block[1] > 1 or initial_block[1] > 1 else 1,
+            )
+            tuning.append(decision)
+            if decision.changed:
+                try:
+                    fused = fuse_kernels(
+                        name,
+                        constituents,
+                        decision.tuned_block,
+                        array_shapes,
+                        precedence=precedence,
+                        options=group_options,
+                    )
+                except TransformError:
+                    pass  # keep the untuned kernel
+
+        new_kernels[name] = fused.kernel
+        args = tuple(ast.Ident(a) for a in fused.pointer_args) + fused.scalar_args
+        launches.append(
+            GeneratedLaunch(
+                kernel_name=name,
+                grid=fused.grid,
+                block=fused.block,
+                members=tuple(ordered),
+                fused=fused,
+            )
+        )
+        _launch_args[id(launches[-1])] = args
+
+    new_launch_stmts = [
+        NewLaunch(
+            kernel=l.kernel_name,
+            grid=l.grid,
+            block=l.block,
+            args=_launch_args[id(l)],
+        )
+        for l in launches
+    ]
+    program = assemble_program(
+        original, list(new_kernels.values()), new_launch_stmts
+    )
+    return TransformResult(
+        program=program,
+        launches=launches,
+        tuning=tuning,
+        degraded_groups=degraded,
+    )
+
+
+def project_transformed(
+    result: TransformResult,
+    problem: FusionProblem,
+    device: DeviceSpec,
+) -> ProgramProjection:
+    """Project the transformed program's execution time."""
+    projections: List[KernelProjection] = []
+    for launch in result.launches:
+        if launch.fused is not None:
+            projections.append(
+                project_kernel(
+                    device, launch.fused.volume, launch.block, launch.fused.traits
+                )
+            )
+        else:
+            assert launch.node is not None
+            projections.append(
+                _project_singleton(problem, launch.node, device)
+            )
+    return ProgramProjection(tuple(projections))
+
+
+def _project_singleton(
+    problem: FusionProblem, node: str, device: DeviceSpec
+) -> KernelProjection:
+    from ..analysis.volume import LaunchVolume
+
+    info = problem.info(node)
+    volume = LaunchVolume(
+        kernel_name=info.kernel,
+        active_threads=info.extents[0] * info.extents[1] * info.extents[2],
+        launched_threads=info.extents[0] * info.extents[1] * info.extents[2],
+        points_per_array=dict(info.points_per_array),
+        arrays_read=set(info.arrays_read),
+        arrays_written=set(info.arrays_written),
+        flops=info.flops,
+    )
+    traits = CodegenTraits(
+        radius=dict(info.radius),
+        regs_per_thread=estimate_registers(
+            len(info.arrays_read | info.arrays_written), info.flops_per_point
+        ),
+    )
+    return project_kernel(device, volume, info.block, traits)
+
+
+def project_baseline(
+    problem: FusionProblem, device: DeviceSpec
+) -> ProgramProjection:
+    """Projection of the *original* program (all whole nodes, untouched)."""
+    projections = [
+        _project_singleton(problem, node, device)
+        for node in problem.whole_nodes()
+    ]
+    return ProgramProjection(tuple(projections))

@@ -1,0 +1,118 @@
+"""Command-line front end (``repro-transform``).
+
+Mirrors the paper's tool: the programmer points it at a CUDA(Lite) source
+file, optionally bounds the stages (``--until`` / ``--from``) and receives
+stage reports, DOT files and the generated program in a working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..cudalite.parser import parse_program
+from ..cudalite.unparser import unparse
+from ..gpu.device import available_devices, query_device
+from ..search.params import GAParams, fast_params
+from .framework import Framework
+from .stages import STAGES, PipelineConfig
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-transform",
+        description=(
+            "Automated CUDA-to-CUDA kernel fission/fusion transformation "
+            "for stencil applications (HPDC'15 reproduction)."
+        ),
+    )
+    parser.add_argument("source", help="CudaLite source file")
+    parser.add_argument(
+        "-o", "--output", default=None, help="write the transformed program here"
+    )
+    parser.add_argument(
+        "--device",
+        default="K20X",
+        choices=sorted(available_devices()),
+        help="target device model",
+    )
+    parser.add_argument(
+        "--mode",
+        default="automated",
+        choices=("automated", "guided", "manual"),
+        help="transformation mode (guided/manual enable high-quality codegen)",
+    )
+    parser.add_argument(
+        "--until", default=None, choices=STAGES, help="stop after this stage"
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="directory for stage artifacts"
+    )
+    parser.add_argument(
+        "--ga-params", default=None, help="GA parameter file (see GAParams)"
+    )
+    parser.add_argument(
+        "--no-fission", action="store_true", help="disable kernel fission"
+    )
+    parser.add_argument(
+        "--no-tuning", action="store_true", help="disable thread-block tuning"
+    )
+    parser.add_argument(
+        "--no-filter", action="store_true", help="disable target filtering"
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="KERNEL",
+        help="manually exclude a kernel from the search (repeatable)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip output verification on the simulator",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=12345, help="GA random seed"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    source = Path(args.source).read_text()
+    program = parse_program(source)
+
+    if args.ga_params:
+        params = GAParams.read(args.ga_params)
+    else:
+        params = fast_params(seed=args.seed)
+
+    config = PipelineConfig(
+        device=query_device(args.device),
+        mode=args.mode,
+        ga_params=params,
+        manual_exclusions=tuple(args.exclude),
+        disable_filtering=args.no_filter,
+        enable_fission=not args.no_fission,
+        tune_blocks=not args.no_tuning,
+        verify=not args.no_verify,
+        workdir=args.workdir,
+    )
+    framework = Framework(program, config)
+    state = framework.run(until=args.until)
+    print(framework.report())
+
+    if args.until in (None, "codegen") and state.transform is not None:
+        output = unparse(state.transform.program)
+        if args.output:
+            Path(args.output).write_text(output)
+            print(f"transformed program written to {args.output}")
+        else:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""The end-to-end transformation framework (§3).
+
+:class:`Framework` drives the five stages and exposes the two operating
+modes the paper describes:
+
+* **automated transformation** — ``Framework(program, config).run()``
+  executes every stage without interference;
+* **programmer-guided transformation** — the programmer registers
+  *intervention* callbacks that receive each stage's artifact and may amend
+  it before the next stage consumes it, and/or runs the pipeline
+  ``until``/``from_stage`` a chosen point (the command-line arguments of
+  the paper's tool).
+
+Example
+-------
+>>> fw = Framework(program, PipelineConfig(device=K20X))
+>>> fw.intervene("targets", lambda state: my_fix_targets(state))
+>>> state = fw.run()
+>>> print(state.speedup)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..cudalite import ast_nodes as ast
+from ..cudalite.parser import parse_program
+from ..errors import PipelineError
+from .stages import (
+    STAGE_FUNCTIONS,
+    STAGES,
+    PipelineConfig,
+    PipelineState,
+)
+
+Intervention = Callable[[PipelineState], Optional[PipelineState]]
+
+
+class Framework:
+    """Drives an end-to-end kernel fission/fusion transformation."""
+
+    def __init__(
+        self,
+        program: "ast.Program | str",
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.state = PipelineState(program=program, config=config or PipelineConfig())
+        self._interventions: Dict[str, List[Intervention]] = {s: [] for s in STAGES}
+        self._completed: List[str] = []
+
+    # ------------------------------------------------------------ intervention
+
+    def intervene(self, stage: str, callback: Intervention) -> "Framework":
+        """Register a programmer intervention to run *after* ``stage``.
+
+        The callback receives the pipeline state and may mutate it (or
+        return a replacement).  Returns ``self`` for chaining.
+        """
+        if stage not in STAGES:
+            raise PipelineError(f"unknown stage {stage!r}; stages: {STAGES}")
+        self._interventions[stage].append(callback)
+        return self
+
+    # -------------------------------------------------------------- execution
+
+    def run_stage(self, stage: str) -> PipelineState:
+        """Run one stage (its prerequisites must have run already)."""
+        if stage not in STAGES:
+            raise PipelineError(f"unknown stage {stage!r}; stages: {STAGES}")
+        self.state = STAGE_FUNCTIONS[stage](self.state)
+        for callback in self._interventions[stage]:
+            replacement = callback(self.state)
+            if replacement is not None:
+                self.state = replacement
+        if stage not in self._completed:
+            self._completed.append(stage)
+        return self.state
+
+    def run(
+        self,
+        until: Optional[str] = None,
+        from_stage: Optional[str] = None,
+    ) -> PipelineState:
+        """Run the pipeline, optionally bounded (`--until` / `--from`)."""
+        start = STAGES.index(from_stage) if from_stage else 0
+        stop = STAGES.index(until) + 1 if until else len(STAGES)
+        if start > 0 and STAGES[start - 1] not in self._completed:
+            raise PipelineError(
+                f"cannot start from {STAGES[start]!r}: stage "
+                f"{STAGES[start - 1]!r} has not completed"
+            )
+        for stage in STAGES[start:stop]:
+            self.run_stage(stage)
+        return self.state
+
+    # --------------------------------------------------------------- reporting
+
+    def report(self) -> str:
+        """Aggregate report of all completed stages."""
+        lines = []
+        for stage in STAGES:
+            if stage in self.state.reports:
+                lines.append(f"== {stage} ==")
+                lines.append(self.state.reports[stage])
+        return "\n".join(lines)
+
+
+def transform_program(
+    program: "ast.Program | str",
+    config: Optional[PipelineConfig] = None,
+) -> PipelineState:
+    """One-call automated transformation (parse → ... → generated program)."""
+    return Framework(program, config).run()

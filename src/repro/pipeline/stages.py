@@ -1,0 +1,274 @@
+"""Pipeline stages and shared state (§3.2, Figure 2).
+
+The transformation is a sequence of five stages, each of which emits a
+report and an amendable artifact (the programmer-intervention surface):
+
+``metadata``   → three metadata files
+``targets``    → the filter report (targets of fission/fusion)
+``graphs``     → DDG and OEG (DOT files)
+``search``     → the GGA result (new grouping; visualizable as a new OEG)
+``codegen``    → the transformed CUDA program + block tuning report
+
+:class:`PipelineState` carries every artifact so the framework can run
+up-to / from any stage, persist artifacts to a working directory and let
+the programmer amend them in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..analysis.filtering import TargetReport, identify_targets, tag_eligibility
+from ..analysis.metadata import ProgramMetadata
+from ..cudalite import ast_nodes as ast
+from ..cudalite.unparser import unparse
+from ..errors import PipelineError
+from ..gpu.device import DeviceSpec, K20X
+from ..gpu.interpreter import outputs_allclose, run_program
+from ..gpu.perfmodel import ProgramProjection
+from ..gpu.profiler import gather_metadata
+from ..graphs import (
+    build_oeg,
+    graph_to_dot,
+    invocation_table,
+    optimize_ddg,
+    validate_ddg,
+    validate_oeg,
+)
+from ..search import (
+    BuiltProblem,
+    GAParams,
+    SearchResult,
+    build_problem,
+    fast_params,
+    run_search,
+)
+from ..transform.fusion import FusionOptions
+from .apply import (
+    TransformResult,
+    materialize,
+    project_baseline,
+    project_transformed,
+)
+
+STAGES: Tuple[str, ...] = ("metadata", "targets", "graphs", "search", "codegen")
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of one end-to-end transformation."""
+
+    device: DeviceSpec = K20X
+    #: 'automated' (default), 'guided' or 'manual' — §6.2.2 terminology;
+    #: guided/manual enable the higher-quality codegen strategies.
+    mode: str = "automated"
+    ga_params: Optional[GAParams] = None
+    boundary_fraction: float = 0.30
+    manual_exclusions: Tuple[str, ...] = ()
+    disable_filtering: bool = False
+    enable_fission: bool = True
+    tune_blocks: bool = True
+    stage_shared: bool = True
+    #: verify the transformed program's output against the original
+    verify: bool = True
+    #: optional directory where stage artifacts are written
+    workdir: Optional[str] = None
+    #: fine-grained codegen-strategy overrides (field name -> value), applied
+    #: on top of the mode defaults; this is how a *guided* run enables only
+    #: the specific fix the programmer identified (§6.2.2)
+    fusion_overrides: Optional[Dict[str, object]] = None
+
+    def fusion_options(self) -> FusionOptions:
+        quality = self.mode == "manual"
+        options = FusionOptions(
+            stage_shared=self.stage_shared,
+            merge_deep_loops=quality,
+            one_sided_guards=quality,
+        )
+        if self.fusion_overrides:
+            for key, value in self.fusion_overrides.items():
+                if not hasattr(options, key):
+                    raise PipelineError(f"unknown fusion option {key!r}")
+                setattr(options, key, value)
+        return options
+
+
+@dataclass
+class PipelineState:
+    """Everything produced so far."""
+
+    program: ast.Program
+    config: PipelineConfig
+    metadata: Optional[ProgramMetadata] = None
+    targets: Optional[TargetReport] = None
+    ddg: Optional[nx.DiGraph] = None
+    oeg: Optional[nx.DiGraph] = None
+    built: Optional[BuiltProblem] = None
+    search: Optional[SearchResult] = None
+    transform: Optional[TransformResult] = None
+    baseline_projection: Optional[ProgramProjection] = None
+    transformed_projection: Optional[ProgramProjection] = None
+    verified: Optional[bool] = None
+    reports: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_projection is None or self.transformed_projection is None:
+            raise PipelineError("run the codegen stage before asking for speedup")
+        return self.baseline_projection.time_s / self.transformed_projection.time_s
+
+    def _persist(self, name: str, content: str) -> None:
+        if self.config.workdir is None:
+            return
+        directory = Path(self.config.workdir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(content)
+
+
+# -------------------------------------------------------------------- stages
+
+
+def stage_metadata(state: PipelineState) -> PipelineState:
+    """Stage 1: gather performance / operations / device metadata."""
+    state.metadata = gather_metadata(state.program, state.config.device)
+    if state.config.workdir is not None:
+        state.metadata.write(Path(state.config.workdir) / "metadata")
+    kernels = state.metadata.kernels()
+    state.reports["metadata"] = (
+        f"profiled {len(kernels)} kernels over "
+        f"{len(state.metadata.launch_order)} launches; "
+        f"total projected runtime {state.metadata.total_runtime_s() * 1e3:.3f} ms"
+    )
+    return state
+
+
+def stage_targets(state: PipelineState) -> PipelineState:
+    """Stage 2: identify the fusion targets."""
+    if state.metadata is None:
+        raise PipelineError("metadata stage has not run")
+    state.targets = identify_targets(
+        state.metadata,
+        state.config.device,
+        boundary_fraction=state.config.boundary_fraction,
+        manual_exclusions=state.config.manual_exclusions,
+        disable_filtering=state.config.disable_filtering,
+    )
+    state.reports["targets"] = state.targets.summary()
+    state._persist("targets.txt", state.reports["targets"])
+    return state
+
+
+def stage_graphs(state: PipelineState) -> PipelineState:
+    """Stage 3: build and optimize the DDG, derive the OEG."""
+    if state.metadata is None or state.targets is None:
+        raise PipelineError("earlier stages have not run")
+    invocations = invocation_table(state.program, state.metadata)
+    ddg, report = optimize_ddg(invocations)
+    validate_ddg(ddg)
+    oeg = build_oeg(ddg)
+    validate_oeg(oeg)
+    tag_eligibility(ddg, oeg, state.targets)
+    state.ddg = ddg
+    state.oeg = oeg
+    state.reports["graphs"] = (
+        f"DDG: {ddg.number_of_nodes()} nodes / {ddg.number_of_edges()} edges; "
+        f"OEG: {oeg.number_of_nodes()} nodes / {oeg.number_of_edges()} edges\n"
+        + report.summary()
+    )
+    state._persist("ddg.dot", graph_to_dot(ddg, "DDG"))
+    state._persist("oeg.dot", graph_to_dot(oeg, "OEG"))
+    return state
+
+
+def stage_search(state: PipelineState) -> PipelineState:
+    """Stage 4: run the GGA to find the best fissions/fusions."""
+    if state.targets is None or state.metadata is None:
+        raise PipelineError("earlier stages have not run")
+    # programmer-amended OEG edges (dep="USER" in the DOT file) become
+    # additional precedence constraints for the search (§3.2.3)
+    extra_precedence = []
+    if state.oeg is not None:
+        for u, v, dep in state.oeg.edges(data="dep"):
+            if dep == "USER":
+                extra_precedence.append((u, v))
+    state.built = build_problem(
+        state.program,
+        state.metadata,
+        state.targets,
+        state.config.device,
+        extra_precedence=extra_precedence,
+        enable_fission=state.config.enable_fission,
+    )
+    params = state.config.ga_params or fast_params()
+    state.search = run_search(state.built.problem, state.config.device, params)
+    result = state.search
+    state.reports["search"] = (
+        f"GGA: {result.generations_run} generations, "
+        f"{result.evaluations} evaluations, converged at generation "
+        f"{result.converged_at}; best projected fitness "
+        f"{result.best_fitness:.2f} GFLOPS; "
+        f"{result.fused_group_count} fused groups / "
+        f"{result.new_kernel_count} new kernels; "
+        f"avg fissions/generation {result.avg_fissions_per_generation:.3f}"
+    )
+    state._persist("search.txt", state.reports["search"])
+    return state
+
+
+def stage_codegen(state: PipelineState) -> PipelineState:
+    """Stage 5: generate the new kernels and rewrite the host code."""
+    if state.built is None or state.search is None or state.metadata is None:
+        raise PipelineError("earlier stages have not run")
+    state.transform = materialize(
+        state.program,
+        state.built.problem,
+        state.built.bindings,
+        state.search.best,
+        state.config.device,
+        state.metadata.array_shapes,
+        options=state.config.fusion_options(),
+        tune_blocks=state.config.tune_blocks,
+    )
+    state.baseline_projection = project_baseline(
+        state.built.problem, state.config.device
+    )
+    state.transformed_projection = project_transformed(
+        state.transform, state.built.problem, state.config.device
+    )
+    if state.config.verify:
+        before = run_program(state.program)
+        after = run_program(state.transform.program)
+        # second run with reversed block order exposes inter-block races
+        after_reversed = run_program(state.transform.program, block_order="reverse")
+        state.verified = outputs_allclose(before, after) and outputs_allclose(
+            before, after_reversed
+        )
+        if not state.verified:
+            raise PipelineError(
+                "transformed program output does not match the original"
+            )
+    tuned = [t for t in state.transform.tuning if t.changed]
+    state.reports["codegen"] = (
+        f"generated {state.transform.new_kernel_count} kernels "
+        f"({len(state.transform.fused_kernels)} fused, "
+        f"{len(state.transform.degraded_groups)} degraded groups); "
+        f"tuned {len(tuned)} / {len(state.transform.tuning)} blocks; "
+        f"projected speedup {state.speedup:.3f}x"
+        + ("; output verified" if state.verified else "")
+    )
+    state._persist("transformed.cu", unparse(state.transform.program))
+    state._persist("codegen.txt", state.reports["codegen"])
+    return state
+
+
+STAGE_FUNCTIONS = {
+    "metadata": stage_metadata,
+    "targets": stage_targets,
+    "graphs": stage_graphs,
+    "search": stage_search,
+    "codegen": stage_codegen,
+}

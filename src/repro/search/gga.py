@@ -1,0 +1,268 @@
+"""The grouped genetic algorithm driver (§5.4).
+
+Evolves partitions of the target kernel invocations under the penalized
+objective, with lazy fission embedded as a repair operator that fires on
+individuals stuck at the shared-memory boundary.  Tracks the statistics the
+paper reports: fitness trajectory, average fissions per generation and the
+generation of convergence (used for the filtering experiment, Fig. 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SearchError
+from ..gpu.device import DeviceSpec
+from .grouping import (
+    FusionProblem,
+    Grouping,
+    Violations,
+    evaluate_violations,
+    singleton_grouping,
+)
+from .objective import get_objective, projected_time_s
+from .operators import (
+    crossover,
+    lazy_fission_repair,
+    make_grouping,
+    mutate,
+    random_grouping,
+)
+from .params import GAParams
+from .penalty import penalized_fitness
+
+
+@dataclass
+class GenerationStats:
+    """Per-generation statistics."""
+
+    generation: int
+    best_fitness: float
+    best_feasible_fitness: float
+    mean_fitness: float
+    fissions: int
+    feasible_count: int
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one GGA run."""
+
+    best: Grouping
+    best_fitness: float
+    #: projected program time of the best individual (s)
+    projected_time_s: float
+    history: List[GenerationStats]
+    generations_run: int
+    #: generation at which the best-feasible fitness reached 99.9% of final
+    converged_at: int
+    #: average lazy fissions applied per generation
+    avg_fissions_per_generation: float
+    evaluations: int
+
+    @property
+    def fused_group_count(self) -> int:
+        return len(self.best.fused_groups())
+
+    @property
+    def new_kernel_count(self) -> int:
+        return len(self.best.groups)
+
+
+def _individual_key(individual: Grouping) -> Tuple:
+    return (individual.split, frozenset(individual.groups))
+
+
+class GGA:
+    """Grouped genetic algorithm over a :class:`FusionProblem`."""
+
+    def __init__(
+        self,
+        problem: FusionProblem,
+        device: DeviceSpec,
+        params: Optional[GAParams] = None,
+    ) -> None:
+        self.problem = problem
+        self.device = device
+        self.params = params or GAParams()
+        self.objective = get_objective(self.params.objective)
+        self.rng = random.Random(self.params.seed)
+        self._fitness_cache: Dict[Tuple, Tuple[float, Violations]] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------- eval
+
+    def evaluate(self, individual: Grouping) -> Tuple[float, Violations]:
+        key = _individual_key(individual)
+        cached = self._fitness_cache.get(key)
+        if cached is not None:
+            return cached
+        raw = self.objective(self.problem, individual, self.device)
+        violations = evaluate_violations(self.problem, individual)
+        fitness = penalized_fitness(raw, violations, self.params.penalties)
+        self._fitness_cache[key] = (fitness, violations)
+        self.evaluations += 1
+        return fitness, violations
+
+    def _tournament(
+        self, population: List[Grouping], fitnesses: List[float]
+    ) -> Grouping:
+        best_idx = None
+        for _ in range(self.params.tournament_size):
+            idx = self.rng.randrange(len(population))
+            if best_idx is None or fitnesses[idx] > fitnesses[best_idx]:
+                best_idx = idx
+        assert best_idx is not None
+        return population[best_idx]
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> SearchResult:
+        params = self.params
+        if params.population < 2:
+            raise SearchError("population must be at least 2")
+        population: List[Grouping] = [singleton_grouping(self.problem)]
+        while len(population) < params.population:
+            population.append(random_grouping(self.problem, self.rng))
+
+        history: List[GenerationStats] = []
+        best: Optional[Grouping] = None
+        best_fitness = float("-inf")
+        best_feasible: Optional[Grouping] = None
+        best_feasible_fitness = float("-inf")
+        stall = 0
+        mutation_rates = (
+            params.mutate_merge,
+            params.mutate_split,
+            params.mutate_move,
+            params.mutate_fission,
+        )
+
+        generations_run = 0
+        for generation in range(params.generations):
+            generations_run = generation + 1
+            evaluated = [self.evaluate(ind) for ind in population]
+            fitnesses = [f for f, _ in evaluated]
+            improved = False
+            feasible_count = 0
+            for ind, (fitness, violations) in zip(population, evaluated):
+                if fitness > best_fitness:
+                    best, best_fitness = ind, fitness
+                if violations.feasible:
+                    feasible_count += 1
+                    if fitness > best_feasible_fitness:
+                        best_feasible, best_feasible_fitness = ind, fitness
+                        improved = True
+            stall = 0 if improved else stall + 1
+
+            fissions_this_gen = 0
+            # next generation
+            ranked = sorted(
+                range(len(population)), key=lambda i: fitnesses[i], reverse=True
+            )
+            next_pop: List[Grouping] = [
+                population[i] for i in ranked[: params.elitism]
+            ]
+            while len(next_pop) < params.population:
+                parent_a = self._tournament(population, fitnesses)
+                if self.rng.random() < params.crossover_rate:
+                    parent_b = self._tournament(population, fitnesses)
+                    child = crossover(self.problem, parent_a, parent_b, self.rng)
+                else:
+                    child = parent_a
+                child = mutate(self.problem, child, self.rng, mutation_rates)
+                _, violations = self.evaluate(child)
+                if violations.smem_over > 0:
+                    child, fissions = lazy_fission_repair(
+                        self.problem, child, self.rng
+                    )
+                    fissions_this_gen += fissions
+                next_pop.append(child)
+
+            history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=best_fitness,
+                    best_feasible_fitness=(
+                        best_feasible_fitness
+                        if best_feasible is not None
+                        else float("nan")
+                    ),
+                    mean_fitness=sum(fitnesses) / len(fitnesses),
+                    fissions=fissions_this_gen,
+                    feasible_count=feasible_count,
+                )
+            )
+            population = next_pop
+            if params.stall_generations and stall >= params.stall_generations:
+                break
+
+        if best_feasible is None:
+            best_feasible = self._repair_to_feasible(best or population[0])
+            best_feasible_fitness, _ = self.evaluate(best_feasible)
+
+        converged_at = generations_run - 1
+        if history:
+            final = best_feasible_fitness
+            for stats in history:
+                if (
+                    stats.best_feasible_fitness == stats.best_feasible_fitness  # not NaN
+                    and stats.best_feasible_fitness >= final * 0.999
+                ):
+                    converged_at = stats.generation
+                    break
+        total_fissions = sum(s.fissions for s in history)
+        return SearchResult(
+            best=best_feasible,
+            best_fitness=best_feasible_fitness,
+            projected_time_s=projected_time_s(
+                self.problem, best_feasible, self.device
+            ),
+            history=history,
+            generations_run=generations_run,
+            converged_at=converged_at,
+            avg_fissions_per_generation=(
+                total_fissions / generations_run if generations_run else 0.0
+            ),
+            evaluations=self.evaluations,
+        )
+
+    def _repair_to_feasible(self, individual: Grouping) -> Grouping:
+        """Break infeasible groups into singletons until feasible."""
+        from .grouping import cyclic_group_indices
+
+        current = individual
+        for _ in range(len(current.groups) + 2):
+            active = current.active_nodes(self.problem)
+            _, reach = self.problem.node_oeg(active)
+            cyclic = cyclic_group_indices(self.problem, current)
+            groups = []
+            changed = False
+            for index, group in enumerate(current.groups):
+                feasible = len(group) <= 1 or (
+                    self.problem.group_fusable(group)
+                    and self.problem.group_convex(group, reach)
+                    and self.problem.group_realizable(group)
+                    and self.problem.group_smem_bytes(group) <= self.problem.capacity
+                    and index not in cyclic
+                )
+                if feasible:
+                    groups.append(group)
+                else:
+                    groups.extend(frozenset({m}) for m in sorted(group))
+                    changed = True
+            current = make_grouping(set(current.split), groups)
+            if not changed:
+                return current
+        return current
+
+
+def run_search(
+    problem: FusionProblem,
+    device: DeviceSpec,
+    params: Optional[GAParams] = None,
+) -> SearchResult:
+    """Convenience wrapper: construct and run the GGA."""
+    return GGA(problem, device, params).run()

@@ -1,0 +1,161 @@
+"""Objective functions for the fusion search (§3.2.4).
+
+The default objective is the *projected performance bound* of the whole
+transformed program in GFLOPS, computed with the same analytic model the
+profiler uses: each group is projected as one fused kernel (locality
+arrays staged, launches merged), each singleton as an untransformed kernel.
+
+Objectives are black boxes — they receive the problem, an individual and a
+device, and return a float in GFLOPS — and are pluggable through
+:func:`register_objective`, mirroring the paper's "write your own objective
+function and point the parameter file at it" workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from ..analysis.volume import LaunchVolume
+from ..errors import SearchError
+from ..gpu.device import DeviceSpec
+from ..gpu.perfmodel import CodegenTraits, estimate_registers, project_kernel
+from .grouping import NOMINAL_BLOCK, FusionProblem, Grouping
+
+ObjectiveFn = Callable[[FusionProblem, Grouping, DeviceSpec], float]
+
+_REGISTRY: Dict[str, ObjectiveFn] = {}
+
+
+def register_objective(name: str, fn: ObjectiveFn) -> None:
+    """Register a custom objective function under ``name``."""
+    _REGISTRY[name] = fn
+
+
+def get_objective(name: str) -> ObjectiveFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown objective {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def group_volume(problem: FusionProblem, members: Iterable[str]) -> LaunchVolume:
+    """Merged launch volume of a prospective fused group."""
+    members = list(members)
+    arrays_read: set = set()
+    arrays_written: set = set()
+    points: Dict[str, int] = {}
+    flops = 0.0
+    active = 0
+    for node in members:
+        info = problem.info(node)
+        arrays_read |= info.arrays_read
+        arrays_written |= info.arrays_written
+        for array, p in info.points_per_array.items():
+            points[array] = max(points.get(array, 0), p)
+        flops += info.flops
+        active = max(active, info.extents[0] * info.extents[1] * info.extents[2])
+    return LaunchVolume(
+        kernel_name="+".join(problem.info(m).kernel for m in members),
+        active_threads=active,
+        launched_threads=active,
+        points_per_array=points,
+        arrays_read=arrays_read,
+        arrays_written=arrays_written,
+        flops=flops,
+    )
+
+
+def group_projection_time(
+    problem: FusionProblem,
+    members: Iterable[str],
+    device: DeviceSpec,
+    block: Tuple[int, int, int] = (NOMINAL_BLOCK[0], NOMINAL_BLOCK[1], 1),
+) -> float:
+    """Projected execution time (s) of one group fused at the nominal block.
+
+    Cached per (group, device, block) on the problem instance — group
+    fitness evaluation dominates GGA runtime (the paper reports > 90%), so
+    memoizing repeated groups across generations is the main speed lever.
+    """
+    members = list(members)
+    blocks = [problem.info(m).block for m in members]
+    if blocks:
+        block = max(set(blocks), key=blocks.count)
+    cache: Dict = problem.__dict__.setdefault("_group_time_cache", {})
+    key = (frozenset(members), device.name, block)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    volume = group_volume(problem, members)
+    radius: Dict[str, int] = {}
+    flops_pp = 0.0
+    ordered = sorted(members, key=lambda n: problem.info(n).order)
+    for node in ordered:
+        info = problem.info(node)
+        flops_pp += info.flops_per_point
+        for array, r in info.radius.items():
+            radius[array] = max(radius.get(array, 0), r)
+    # intermediates produced by one member and consumed at the producing
+    # thread's own site (radius 0) by strictly later members never leave
+    # the chip in the fused kernel — the code generator routes them through
+    # cache/registers (the B-CALM pole-array effect)
+    on_chip: set = set()
+    if len(ordered) > 1:
+        first_writer: Dict[str, int] = {}
+        first_reader: Dict[str, int] = {}
+        for idx, node in enumerate(ordered):
+            info = problem.info(node)
+            for array in info.arrays_written:
+                first_writer.setdefault(array, idx)
+            for array in info.arrays_read:
+                first_reader.setdefault(array, idx)
+        for array, widx in first_writer.items():
+            ridx = first_reader.get(array)
+            if ridx is not None and ridx > widx and radius.get(array, 0) == 0:
+                on_chip.add(array)
+    if len(members) > 1:
+        staged = problem.locality_arrays(members) - on_chip
+        smem = problem.group_smem_bytes(members, (block[0], block[1]))
+    else:
+        staged = set()
+        smem = 0
+    traits = CodegenTraits(
+        staged=staged,
+        on_chip=on_chip,
+        radius=radius,
+        smem_per_block=min(smem, device.shared_mem_per_block),
+        regs_per_thread=estimate_registers(
+            len(volume.arrays_read | volume.arrays_written), flops_pp
+        ),
+    )
+    time_s = project_kernel(device, volume, block, traits).time_s
+    cache[key] = time_s
+    return time_s
+
+
+def projected_gflops(
+    problem: FusionProblem, individual: Grouping, device: DeviceSpec
+) -> float:
+    """Default objective: whole-program projected GFLOPS."""
+    total_time = 0.0
+    total_flops = 0.0
+    for group in individual.groups:
+        total_time += group_projection_time(problem, group, device)
+        total_flops += sum(problem.info(m).flops for m in group)
+    if total_time <= 0:
+        return 0.0
+    return total_flops / total_time / 1e9
+
+
+def projected_time_s(
+    problem: FusionProblem, individual: Grouping, device: DeviceSpec
+) -> float:
+    """Projected program time (useful for reporting speedups)."""
+    return sum(
+        group_projection_time(problem, group, device) for group in individual.groups
+    )
+
+
+register_objective("projected_gflops", projected_gflops)

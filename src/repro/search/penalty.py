@@ -1,0 +1,56 @@
+"""The dynamic penalty function with lazy-fission relaxation (§4.1, Eq. 1).
+
+The paper penalizes candidate solutions as
+
+``f_p(x) = f(x) + Σ C_i δ_i − C_SM δ_SM``
+
+where ``C_i`` penalizes each violated constraint and ``C_SM`` *relaxes* the
+shared-memory capacity constraint when fission of a cached array is
+possible (``C_SM > 0``), and penalizes it further otherwise (``C_SM < 0``).
+With a maximized objective the penalties enter with negative sign; we keep
+the same structure with ``C_i`` magnitudes expressed as fitness units
+(GFLOPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .grouping import Violations
+
+
+@dataclass(frozen=True)
+class PenaltyParams:
+    """Penalty constants (GA parameter file entries)."""
+
+    #: per non-convex group
+    c_convexity: float = 200.0
+    #: per group exceeding the shared-memory capacity
+    c_shared_mem: float = 120.0
+    #: per group containing an unfusable kernel
+    c_unfusable: float = 200.0
+    #: per group the code generator cannot realize (WAR / wave depth)
+    c_unrealizable: float = 180.0
+    #: lazy-fission relaxation: how much of the shared-memory penalty is
+    #: refunded when the violating group can be fissioned (0 <= relax <= 1)
+    c_sm_relax: float = 0.75
+
+
+def penalized_fitness(
+    raw_fitness: float, violations: Violations, params: PenaltyParams
+) -> float:
+    """Apply Eq. 1 to a raw objective value (maximization form).
+
+    Smem-violating groups that contain a fissionable member keep a
+    ``c_sm_relax`` fraction of the penalty refunded, so such boundary
+    solutions stay attractive enough for the evolving search to repair them
+    by fission rather than discard them.
+    """
+    penalty = 0.0
+    penalty += params.c_convexity * violations.non_convex
+    penalty += params.c_unfusable * violations.unfusable
+    penalty += params.c_unrealizable * violations.unrealizable
+    hard_smem = violations.smem_over - violations.relaxable
+    penalty += params.c_shared_mem * hard_smem
+    penalty += params.c_shared_mem * (1.0 - params.c_sm_relax) * violations.relaxable
+    return raw_fitness - penalty

@@ -1,0 +1,38 @@
+"""Code-generation package: fission, fusion, block tuning, host rewrite."""
+
+from .blocksize import TuningDecision, smem_per_thread, tune_kernel_block
+from .fission import (
+    FissionFragment,
+    fission_kernel,
+    fission_program,
+    iterative_fission,
+)
+from .fusion import (
+    Constituent,
+    FusedKernel,
+    FusionOptions,
+    copy_kernel,
+    fuse_kernels,
+    make_constituent,
+)
+from .hostcode import NewLaunch, assemble_program, rewrite_host
+from .kernel_model import (
+    CanonicalKernel,
+    extract_model,
+    rename_block,
+    rename_expr,
+    rename_stmt,
+    substitute_expr,
+)
+from .shared_memory import TileSpec, rewrite_reads_to_tile, staging_stmts
+
+__all__ = [
+    "FissionFragment", "fission_kernel", "fission_program", "iterative_fission",
+    "Constituent", "FusionOptions", "FusedKernel", "fuse_kernels",
+    "copy_kernel", "make_constituent",
+    "NewLaunch", "rewrite_host", "assemble_program",
+    "TuningDecision", "tune_kernel_block", "smem_per_thread",
+    "CanonicalKernel", "extract_model",
+    "rename_expr", "rename_stmt", "rename_block", "substitute_expr",
+    "TileSpec", "staging_stmts", "rewrite_reads_to_tile",
+]

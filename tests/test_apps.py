@@ -1,0 +1,92 @@
+"""Application-generator tests: structure matches Table 1, programs are
+valid and deterministic."""
+
+import pytest
+
+from repro.apps import APP_NAMES, SPECS, build_app
+from repro.apps.base import scaled_spec
+from repro.cudalite import check_program, unparse, parse_program
+from repro.gpu.interpreter import run_program, trace_launches
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_apps_generate_valid_programs(name):
+    app = build_app(name, scale=0.3)
+    check_program(app.program)
+    # round-trippable source
+    assert parse_program(unparse(app.program)) == app.program
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_apps_deterministic(name):
+    a = build_app(name, scale=0.3)
+    b = build_app(name, scale=0.3)
+    assert unparse(a.program) == unparse(b.program)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_apps_execute(name):
+    app = build_app(name, scale=0.25)
+    result = run_program(app.program)
+    assert len(result.launches) == len(app.program.kernels)
+
+
+def test_full_scale_kernel_counts_match_table1():
+    """Structural counts at full scale track Table 1 of the paper."""
+    for name in APP_NAMES:
+        app = build_app(name)
+        spec = SPECS[name]
+        kernels = len(app.program.kernels)
+        trace = trace_launches(app.program)
+        arrays = len(trace.arrays)
+        assert abs(kernels - spec.paper_kernels) <= max(3, spec.paper_kernels // 8), (
+            name, kernels, spec.paper_kernels,
+        )
+        assert abs(arrays - spec.paper_arrays) <= max(3, spec.paper_arrays // 6), (
+            name, arrays, spec.paper_arrays,
+        )
+
+
+def test_scale_les_has_deep_loop_kernels():
+    app = build_app("SCALE-LES", scale=0.5)
+    assert len(app.deep_loop_kernels) >= 1
+
+
+def test_fluam_has_latency_kernels():
+    app = build_app("Fluam", scale=0.5)
+    assert len(app.latency_kernels) >= 2
+    names = {k.name for k in app.program.kernels}
+    assert set(app.latency_kernels) <= names
+
+
+def test_awp_kernels_are_fissionable():
+    from repro.analysis.deps import is_fissionable
+
+    app = build_app("AWP-ODC-GPU")
+    stress = app.program.kernel("stress_update_a")
+    assert is_fissionable(stress)
+
+
+def test_bcalm_pole_chain_structure():
+    """Pole kernels write intermediates the field updates consume."""
+    from repro.analysis.accesses import collect_accesses
+
+    app = build_app("B-CALM")
+    poles = collect_accesses(app.program.kernel("pole_update_e"))
+    e_update = collect_accesses(app.program.kernel("e_update"))
+    assert poles.arrays_written & e_update.arrays_read
+
+
+def test_scaled_spec_shrinks_domain():
+    spec = SPECS["SCALE-LES"]
+    small = scaled_spec(spec, 0.25)
+    assert small.domain[0] < spec.domain[0]
+    assert small.domain[0] % spec.block[0] == 0
+    assert small.domain[2] == spec.domain[2]
+    assert scaled_spec(spec, 1.0) == spec
+
+
+def test_app_seeds_change_structure():
+    a = build_app("SCALE-LES", scale=0.3)
+    b = build_app("SCALE-LES", scale=0.3, seed=777)
+    assert unparse(a.program) != unparse(b.program)

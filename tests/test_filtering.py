@@ -1,0 +1,139 @@
+"""Target-identification (filtering) tests."""
+
+from repro.analysis.filtering import identify_targets, tag_eligibility
+from repro.cudalite import parse_program
+from repro.gpu.device import K20X
+from repro.gpu.profiler import gather_metadata
+from repro.graphs import build_oeg, invocation_table, optimize_ddg
+
+
+MIXED = """
+__global__ void sweep(double *A, const double *B, int nx, int ny, int nz) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < nx && j < ny) {
+        for (int k = 0; k < nz; k++) { A[i][j][k] = B[i][j][k] * 2.0; }
+    }
+}
+__global__ void heavy(double *C, const double *B, int nx, int ny, int nz) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < nx && j < ny) {
+        for (int k = 0; k < nz; k++) {
+            double acc = B[i][j][k];
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            acc = acc + sin(acc) * 0.9;
+            C[i][j][k] = acc;
+        }
+    }
+}
+__global__ void bc(double *A, const double *B, int nx, int ny, int nz) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < 1 && j < ny) {
+        for (int k = 0; k < nz; k++) { A[i][j][k] = B[i][j][k]; }
+    }
+}
+int main() {
+    int nx = 32; int ny = 32; int nz = 8;
+    double *A = cudaMalloc3D(nx, ny, nz);
+    double *B = cudaMalloc3D(nx, ny, nz);
+    double *C = cudaMalloc3D(nx, ny, nz);
+    deviceRandom(B, 3);
+    dim3 grid(4, 4, 1);
+    dim3 block(8, 8, 1);
+    sweep<<<grid, block>>>(A, B, nx, ny, nz);
+    heavy<<<grid, block>>>(C, B, nx, ny, nz);
+    bc<<<grid, block>>>(A, B, nx, ny, nz);
+    return 0;
+}
+"""
+
+
+def make_report(**kw):
+    program = parse_program(MIXED)
+    meta = gather_metadata(program, K20X)
+    return program, meta, identify_targets(meta, K20X, **kw)
+
+
+def test_memory_bound_kernel_is_target():
+    _, _, report = make_report()
+    assert "sweep" in report.targets
+
+
+def test_compute_bound_kernel_excluded():
+    _, _, report = make_report()
+    assert "heavy" in report.excluded
+    assert "compute-bound" in report.reason("heavy")
+
+
+def test_boundary_kernel_excluded():
+    _, _, report = make_report()
+    assert "bc" in report.excluded
+    assert "boundary" in report.reason("bc")
+
+
+def test_manual_exclusion():
+    _, _, report = make_report(manual_exclusions=("sweep",))
+    assert "sweep" in report.excluded
+    assert "manually" in report.reason("sweep")
+
+
+def test_disable_filtering_keeps_everything():
+    _, _, report = make_report(disable_filtering=True)
+    assert report.excluded == []
+    assert len(report.targets) == 3
+
+
+def test_boundary_threshold_configurable():
+    _, _, report = make_report(boundary_fraction=0.0)
+    assert "bc" in report.targets  # nothing is "boundary" at threshold 0
+
+
+def test_summary_mentions_every_kernel():
+    _, _, report = make_report()
+    text = report.summary()
+    for name in ("sweep", "heavy", "bc"):
+        assert name in text
+
+
+def test_tag_eligibility_marks_graphs():
+    program, meta, report = make_report()
+    invocations = invocation_table(program, meta)
+    ddg, _ = optimize_ddg(invocations)
+    oeg = build_oeg(ddg)
+    tag_eligibility(ddg, oeg, report)
+    flags = {
+        data["kernel"]: data["eligible"]
+        for _, data in oeg.nodes(data=True)
+    }
+    assert flags["sweep"] is True
+    assert flags["heavy"] is False
+    assert flags["bc"] is False
+
+
+def test_irregular_kernel_excluded():
+    program = parse_program(
+        "__global__ void irr(double *A, const double *B, int n) {"
+        " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        " if (i < n) { A[i] = B[i * 2]; } }\n"
+        "int main() { int n = 64; double *A = cudaMalloc1D(n);"
+        " double *B = cudaMalloc1D(n); deviceRandom(B, 1);"
+        " irr<<<dim3(1, 1, 1), dim3(64, 1, 1)>>>(A, B, n); return 0; }"
+    )
+    meta = gather_metadata(program, K20X)
+    report = identify_targets(meta, K20X)
+    assert "irr" in report.excluded
+    assert "irregular" in report.reason("irr")

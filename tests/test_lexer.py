@@ -1,0 +1,143 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.cudalite.lexer import tokenize
+from repro.cudalite.tokens import TokKind
+from repro.errors import LexError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokKind.EOF
+
+
+def test_identifier():
+    toks = tokenize("alpha_1")
+    assert toks[0].kind is TokKind.IDENT
+    assert toks[0].text == "alpha_1"
+
+
+def test_keyword_recognition():
+    assert tokenize("__global__")[0].kind is TokKind.KEYWORD
+    assert tokenize("double")[0].kind is TokKind.KEYWORD
+    assert tokenize("doubled")[0].kind is TokKind.IDENT
+
+
+def test_integer_literal():
+    tok = tokenize("1234")[0]
+    assert tok.kind is TokKind.INT
+    assert tok.text == "1234"
+
+
+def test_float_literals():
+    assert tokenize("1.5")[0].kind is TokKind.FLOAT
+    assert tokenize("0.25")[0].kind is TokKind.FLOAT
+    assert tokenize("2.")[0].kind is TokKind.FLOAT
+    assert tokenize("1e10")[0].kind is TokKind.FLOAT
+    assert tokenize("1.5e-3")[0].kind is TokKind.FLOAT
+    assert tokenize("3.0f")[0].kind is TokKind.FLOAT
+
+
+def test_float_suffix_included_in_text():
+    assert tokenize("3.0f")[0].text == "3.0f"
+
+
+def test_integer_followed_by_dot_member_is_not_float():
+    # "1.5" is float but "a.x" is member access
+    toks = tokenize("a.x")
+    assert [t.text for t in toks[:-1]] == ["a", ".", "x"]
+
+
+def test_triple_angle_brackets():
+    toks = texts("k<<<grid, block>>>()")
+    assert "<<<" in toks and ">>>" in toks
+
+
+def test_comparison_not_confused_with_launch():
+    assert texts("a < b") == ["a", "<", "b"]
+    assert texts("a <= b") == ["a", "<=", "b"]
+
+
+def test_compound_operators():
+    assert texts("a += 1; b -= 2; c *= 3; d /= 4;") == [
+        "a", "+=", "1", ";", "b", "-=", "2", ";",
+        "c", "*=", "3", ";", "d", "/=", "4", ";",
+    ]
+
+
+def test_increment_decrement():
+    assert texts("i++; j--;") == ["i", "++", ";", "j", "--", ";"]
+
+
+def test_logical_operators():
+    assert texts("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment here\nb") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_lex_error_carries_position():
+    try:
+        tokenize("ok\n  $")
+    except LexError as e:
+        assert e.line == 2
+        assert e.col == 3
+    else:  # pragma: no cover
+        pytest.fail("expected LexError")
+
+
+def test_shared_keyword():
+    toks = tokenize("__shared__ double tile[10][10];")
+    assert toks[0].is_kw("__shared__")
+
+
+def test_token_helpers():
+    tok = tokenize("if")[0]
+    assert tok.is_kw("if")
+    assert not tok.is_kw("for")
+    punct = tokenize(";")[0]
+    assert punct.is_punct(";")
+    assert not punct.is_punct(",")
+
+
+def test_full_kernel_tokenizes():
+    source = """
+    __global__ void k(double *A, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { A[i] = 1.0; }
+    }
+    """
+    toks = tokenize(source)
+    assert toks[-1].kind is TokKind.EOF
+    assert len(toks) > 30

@@ -1,0 +1,282 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.cudalite import ast_nodes as ast
+from repro.cudalite.parser import parse_expr, parse_kernel, parse_program
+from repro.errors import ParseError
+
+
+# ------------------------------------------------------------------ expressions
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("a + b * c")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+
+def test_precedence_comparison_over_logical():
+    expr = parse_expr("a < b && c >= d")
+    assert expr.op == "&&"
+    assert expr.lhs.op == "<"
+    assert expr.rhs.op == ">="
+
+
+def test_left_associativity():
+    expr = parse_expr("a - b - c")
+    assert expr.op == "-"
+    assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "-"
+    assert expr.rhs == ast.Ident("c")
+
+
+def test_parentheses_override():
+    expr = parse_expr("(a + b) * c")
+    assert expr.op == "*"
+    assert expr.lhs.op == "+"
+
+
+def test_unary_minus_on_identifier():
+    expr = parse_expr("-a")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+
+def test_negative_literal_folding():
+    assert parse_expr("-5") == ast.IntLit(-5)
+    folded = parse_expr("-2.5")
+    assert isinstance(folded, ast.FloatLit) and folded.value == -2.5
+
+
+def test_ternary():
+    expr = parse_expr("a < b ? x : y")
+    assert isinstance(expr, ast.Ternary)
+    assert expr.cond.op == "<"
+
+
+def test_member_access():
+    expr = parse_expr("threadIdx.x")
+    assert isinstance(expr, ast.Member)
+    assert expr.field_name == "x"
+
+
+def test_index_chain_collapses():
+    expr = parse_expr("A[i][j][k]")
+    assert isinstance(expr, ast.Index)
+    assert len(expr.indices) == 3
+    assert expr.array_name == "A"
+
+
+def test_call_with_args():
+    expr = parse_expr("max(a, b + 1)")
+    assert isinstance(expr, ast.Call)
+    assert expr.func == "max"
+    assert len(expr.args) == 2
+
+
+def test_global_index_expression():
+    expr = parse_expr("blockIdx.x * blockDim.x + threadIdx.x")
+    assert expr.op == "+"
+    assert expr.lhs.op == "*"
+
+
+def test_trailing_tokens_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("a + b extra")
+
+
+# ------------------------------------------------------------------- statements
+
+
+def test_parse_kernel_basic():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { int i = threadIdx.x; A[i] = 0.0; }"
+    )
+    assert kernel.name == "k"
+    assert len(kernel.params) == 2
+    assert kernel.params[0].type.is_pointer
+    assert not kernel.params[1].type.is_pointer
+
+
+def test_const_pointer_param():
+    kernel = parse_kernel("__global__ void k(const double *B, int n) { }")
+    assert kernel.params[0].type.is_const
+    assert kernel.params[0].type.is_pointer
+
+
+def test_if_else():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " int i = threadIdx.x;"
+        " if (i < n) { A[i] = 1.0; } else { A[i] = 2.0; }"
+        "}"
+    )
+    stmt = kernel.body.stmts[1]
+    assert isinstance(stmt, ast.If)
+    assert stmt.els is not None
+
+
+def test_single_statement_branches_wrapped_in_block():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " int i = threadIdx.x;"
+        " if (i < n) A[i] = 1.0;"
+        "}"
+    )
+    stmt = kernel.body.stmts[1]
+    assert isinstance(stmt.then, ast.Block)
+    assert len(stmt.then.stmts) == 1
+
+
+def test_canonical_for_loop():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " int i = threadIdx.x;"
+        " for (int m = 0; m < n; m++) { A[i] = 1.0; }"
+        "}"
+    )
+    loop = kernel.body.stmts[1]
+    assert isinstance(loop, ast.For)
+    assert loop.var == "m"
+    assert loop.cmp == "<"
+    assert loop.step == ast.IntLit(1)
+
+
+def test_for_loop_le_and_step():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 2; m <= n; m += 2) { A[m] = 1.0; }"
+        "}"
+    )
+    loop = kernel.body.stmts[0]
+    assert loop.cmp == "<="
+    assert loop.step == ast.IntLit(2)
+
+
+def test_for_loop_prefix_increment():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 0; m < n; ++m) { A[m] = 1.0; }"
+        "}"
+    )
+    assert isinstance(kernel.body.stmts[0], ast.For)
+
+
+def test_non_canonical_loop_rejected():
+    with pytest.raises(ParseError):
+        parse_kernel(
+            "__global__ void k(double *A, int n) {"
+            " for (int m = 0; m > n; m++) { A[m] = 1.0; }"
+            "}"
+        )
+
+
+def test_loop_condition_must_match_variable():
+    with pytest.raises(ParseError):
+        parse_kernel(
+            "__global__ void k(double *A, int n) {"
+            " for (int m = 0; q < n; m++) { A[m] = 1.0; }"
+            "}"
+        )
+
+
+def test_compound_assignment():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { A[0] += 2.0; A[1] *= 3.0; }"
+    )
+    assert kernel.body.stmts[0].op == "+="
+    assert kernel.body.stmts[1].op == "*="
+
+
+def test_increment_statement_desugars():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { int i = 0; i++; }"
+    )
+    stmt = kernel.body.stmts[1]
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.op == "+="
+    assert stmt.value == ast.IntLit(1)
+
+
+def test_syncthreads_statement():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { __syncthreads(); }"
+    )
+    assert isinstance(kernel.body.stmts[0], ast.SyncThreads)
+
+
+def test_shared_declaration():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { __shared__ double t[10][12]; }"
+    )
+    decl = kernel.body.stmts[0]
+    assert decl.is_shared
+    assert decl.array_dims == (ast.IntLit(10), ast.IntLit(12))
+
+
+def test_assignment_to_expression_rejected():
+    with pytest.raises(ParseError):
+        parse_kernel("__global__ void k(double *A, int n) { a + b = 3.0; }")
+
+
+# --------------------------------------------------------------------- programs
+
+
+def test_program_with_host(diffuse_program):
+    assert len(diffuse_program.kernels) == 1
+    assert diffuse_program.main().name == "main"
+
+
+def test_launch_statement(diffuse_program):
+    launches = [
+        s for s in diffuse_program.main().body.walk() if isinstance(s, ast.Launch)
+    ]
+    assert len(launches) == 1
+    assert launches[0].kernel == "diffuse"
+    assert len(launches[0].args) == 6
+
+
+def test_dim3_constructor_style():
+    program = parse_program(
+        "int main() { dim3 grid(4, 4, 1); dim3 block(8, 8); return 0; }"
+    )
+    decls = [s for s in program.main().body.stmts if isinstance(s, ast.VarDecl)]
+    assert decls[0].type.base == "dim3"
+    assert isinstance(decls[0].init, ast.Call)
+
+
+def test_inline_dim3_in_launch():
+    program = parse_program(
+        "__global__ void k(double *A) { }\n"
+        "int main() { double *A = cudaMalloc1D(8);"
+        " k<<<dim3(1, 1, 1), dim3(8, 1, 1)>>>(A); return 0; }"
+    )
+    launch = [s for s in program.main().body.walk() if isinstance(s, ast.Launch)][0]
+    assert isinstance(launch.grid, ast.Call)
+
+
+def test_program_kernel_lookup(three_kernel_program):
+    assert three_kernel_program.kernel("k2").name == "k2"
+    with pytest.raises(KeyError):
+        three_kernel_program.kernel("nope")
+
+
+def test_unsigned_int_folds_to_int():
+    kernel = parse_kernel("__global__ void k(double *A, unsigned int n) { }")
+    assert kernel.params[1].type.base == "int"
+
+
+def test_parse_error_reports_position():
+    try:
+        parse_program("__global__ void k(double *A) { A[0] = ; }")
+    except ParseError as e:
+        assert e.line >= 1
+    else:  # pragma: no cover
+        pytest.fail("expected ParseError")
+
+
+def test_replace_kernels(three_kernel_program):
+    k1 = three_kernel_program.kernel("k1")
+    new = ast.KernelDef("fresh", k1.params, k1.body)
+    rebuilt = three_kernel_program.replace_kernels((new,))
+    assert [k.name for k in rebuilt.kernels] == ["fresh"]
+    assert rebuilt.main() is not None

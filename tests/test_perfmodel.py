@@ -1,0 +1,151 @@
+"""Performance-model tests: redundancy factors and projection properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.volume import LaunchVolume
+from repro.gpu.device import K20X, K40
+from repro.gpu.perfmodel import (
+    CodegenTraits,
+    ProgramProjection,
+    cache_redundancy,
+    estimate_registers,
+    project_kernel,
+    tile_halo_factor,
+)
+
+
+def make_volume(points=65536, reads=("B",), writes=("A",), flops=None):
+    return LaunchVolume(
+        kernel_name="k",
+        active_threads=points,
+        launched_threads=points,
+        points_per_array={a: points for a in list(reads) + list(writes)},
+        arrays_read=set(reads),
+        arrays_written=set(writes),
+        flops=flops if flops is not None else points * 6.0,
+    )
+
+
+def test_cache_redundancy_grows_with_radius():
+    assert cache_redundancy(0) == 1.0
+    assert cache_redundancy(1) > cache_redundancy(0)
+    assert cache_redundancy(2) > cache_redundancy(1)
+
+
+def test_tile_halo_factor():
+    assert tile_halo_factor((32, 8, 1), 0) == 1.0
+    assert tile_halo_factor((32, 8, 1), 1) == pytest.approx((34 * 10) / 256)
+    # smaller blocks pay proportionally more halo
+    assert tile_halo_factor((16, 4, 1), 1) > tile_halo_factor((32, 8, 1), 1)
+
+
+def test_staged_read_cheaper_than_repeated_cached_reads():
+    """The fusion premise: one tiled load beats two cached stencil reads."""
+    assert tile_halo_factor((32, 8, 1), 1) < 2 * cache_redundancy(1)
+
+
+def test_register_estimate_monotone():
+    assert estimate_registers(4, 10) < estimate_registers(12, 10)
+    assert estimate_registers(4, 10) <= estimate_registers(4, 100)
+    assert estimate_registers(100, 10000) <= 255
+
+
+def test_projection_memory_bound_stencil():
+    proj = project_kernel(K20X, make_volume(), (32, 8, 1))
+    assert proj.limiter == "memory"
+    assert proj.time_s > K20X.launch_overhead_s
+
+
+def test_projection_compute_bound():
+    proj = project_kernel(
+        K20X, make_volume(flops=65536 * 500.0), (32, 8, 1)
+    )
+    assert proj.limiter == "compute"
+
+
+def test_on_chip_array_costs_nothing_to_read():
+    base = project_kernel(K20X, make_volume(reads=("B", "T")), (32, 8, 1))
+    traits = CodegenTraits(on_chip={"T"})
+    cheap = project_kernel(K20X, make_volume(reads=("B", "T")), (32, 8, 1), traits)
+    assert cheap.bytes_read < base.bytes_read
+
+
+def test_rereads_charge_extra_traffic():
+    traits = CodegenTraits(rereads={"B": 2})
+    twice = project_kernel(K20X, make_volume(), (32, 8, 1), traits)
+    once = project_kernel(K20X, make_volume(), (32, 8, 1))
+    assert twice.bytes_read == pytest.approx(2 * once.bytes_read)
+
+
+def test_divergence_factor_scales_time():
+    slow = project_kernel(
+        K20X, make_volume(), (32, 8, 1), CodegenTraits(divergence_factor=1.2)
+    )
+    fast = project_kernel(K20X, make_volume(), (32, 8, 1))
+    busy_fast = fast.time_s - K20X.launch_overhead_s
+    busy_slow = slow.time_s - K20X.launch_overhead_s
+    assert busy_slow == pytest.approx(1.2 * busy_fast)
+
+
+def test_k40_faster_than_k20x_on_same_kernel():
+    on_k20 = project_kernel(K20X, make_volume(), (32, 8, 1))
+    on_k40 = project_kernel(K40, make_volume(), (32, 8, 1))
+    assert on_k40.time_s < on_k20.time_s
+
+
+def test_low_occupancy_slows_memory_bound_kernel():
+    starved = project_kernel(
+        K20X,
+        make_volume(),
+        (32, 8, 1),
+        CodegenTraits(smem_per_block=24 * 1024, regs_per_thread=32),
+    )
+    free = project_kernel(K20X, make_volume(), (32, 8, 1))
+    assert starved.occupancy < free.occupancy
+    assert starved.time_s > free.time_s
+
+
+def test_fusing_two_sharing_kernels_never_slower():
+    """Core invariant: fusing two memory-bound kernels that read the same
+    array is projected no slower than running them separately."""
+    single = project_kernel(K20X, make_volume(reads=("B",), writes=("A",)), (32, 8, 1))
+    other = project_kernel(K20X, make_volume(reads=("B",), writes=("C",)), (32, 8, 1))
+    fused_volume = LaunchVolume(
+        kernel_name="f",
+        active_threads=65536,
+        launched_threads=65536,
+        points_per_array={a: 65536 for a in ("A", "B", "C")},
+        arrays_read={"B"},
+        arrays_written={"A", "C"},
+        flops=single.flops + other.flops,
+    )
+    traits = CodegenTraits(staged={"B"}, smem_per_block=2048, regs_per_thread=40)
+    fused = project_kernel(K20X, fused_volume, (32, 8, 1), traits)
+    assert fused.time_s < single.time_s + other.time_s
+
+
+def test_program_projection_aggregates():
+    a = project_kernel(K20X, make_volume(), (32, 8, 1))
+    b = project_kernel(K20X, make_volume(writes=("C",)), (32, 8, 1))
+    prog = ProgramProjection((a, b))
+    assert prog.time_s == pytest.approx(a.time_s + b.time_s)
+    assert prog.flops == pytest.approx(a.flops + b.flops)
+    assert prog.speedup_over(prog) == pytest.approx(1.0)
+
+
+@given(
+    points=st.integers(min_value=256, max_value=2 ** 20),
+    radius=st.integers(min_value=0, max_value=4),
+    flops_per_point=st.floats(min_value=0.0, max_value=200.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_projection_positive_and_bounded(points, radius, flops_per_point):
+    volume = make_volume(points=points, flops=points * flops_per_point)
+    traits = CodegenTraits(radius={"B": radius})
+    proj = project_kernel(K20X, volume, (32, 8, 1), traits)
+    assert proj.time_s >= K20X.launch_overhead_s
+    assert proj.bytes_total >= 0
+    # effective bandwidth can never exceed the device peak
+    assert proj.effective_bandwidth_gbs <= K20X.peak_bandwidth_gbs * 1.001

@@ -1,0 +1,110 @@
+"""Semantic checker tests."""
+
+import pytest
+
+from repro.cudalite import check_program, parse_program
+from repro.errors import SemanticError
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+def test_valid_program_passes(diffuse_program):
+    syms = check_program(diffuse_program)
+    assert "diffuse" in syms
+    assert syms["diffuse"].pointer_params == ("A", "B")
+
+
+def test_undefined_name_rejected():
+    with pytest.raises(SemanticError, match="undefined name"):
+        check("__global__ void k(double *A) { A[0] = ghost; }")
+
+
+def test_duplicate_kernel_names_rejected():
+    with pytest.raises(SemanticError, match="duplicate"):
+        check(
+            "__global__ void k(double *A) { }\n"
+            "__global__ void k(double *B) { }\n"
+        )
+
+
+def test_bare_pointer_use_rejected():
+    """Pointer aliasing is excluded by construction (paper Limitations)."""
+    with pytest.raises(SemanticError, match="without subscripts"):
+        check("__global__ void k(double *A, double *B) { B[0] = A + 1.0; }")
+
+
+def test_subscript_of_scalar_rejected():
+    with pytest.raises(SemanticError, match="non-array"):
+        check("__global__ void k(double *A, int n) { A[0] = n[0]; }")
+
+
+def test_geometry_requires_member_access():
+    with pytest.raises(SemanticError):
+        check("__global__ void k(double *A) { A[0] = threadIdx; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(SemanticError, match="unknown function"):
+        check("__global__ void k(double *A) { A[0] = frobnicate(1.0); }")
+
+
+def test_math_intrinsics_allowed():
+    syms = check(
+        "__global__ void k(double *A) {"
+        " A[0] = sqrt(2.0) + min(1.0, exp(0.5)) + fabs(-1.0);"
+        "}"
+    )
+    assert "k" in syms
+
+
+def test_shared_needs_constant_dims():
+    with pytest.raises(SemanticError, match="positive integer constants"):
+        check(
+            "__global__ void k(double *A, int n) { __shared__ double t[n]; }"
+        )
+
+
+def test_shared_needs_dims():
+    with pytest.raises(SemanticError, match="needs array dimensions"):
+        check("__global__ void k(double *A) { __shared__ double t; }")
+
+
+def test_shared_constant_arithmetic_dims_ok():
+    syms = check(
+        "__global__ void k(double *A) { __shared__ double t[8 + 2][4 * 2]; }"
+    )
+    assert syms["k"].shared_arrays["t"] == (10, 8)
+
+
+def test_kernel_cannot_return_value():
+    with pytest.raises(SemanticError, match="cannot return"):
+        check("__global__ void k(double *A) { return 1; }")
+
+
+def test_launch_of_undefined_kernel_rejected():
+    with pytest.raises(SemanticError, match="undefined kernel"):
+        check(
+            "int main() { dim3 g(1, 1, 1); dim3 b(8, 1, 1);"
+            " nothere<<<g, b>>>(); return 0; }"
+        )
+
+
+def test_launch_arity_checked():
+    with pytest.raises(SemanticError, match="expects"):
+        check(
+            "__global__ void k(double *A, int n) { }\n"
+            "int main() { double *A = cudaMalloc1D(8);"
+            " dim3 g(1, 1, 1); dim3 b(8, 1, 1);"
+            " k<<<g, b>>>(A); return 0; }"
+        )
+
+
+def test_loop_variable_in_scope():
+    syms = check(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 0; m < n; m++) { A[m] = 1.0; }"
+        "}"
+    )
+    assert "m" in syms["k"].locals

@@ -1,0 +1,112 @@
+"""Stencil-classification and roofline tests."""
+
+import pytest
+
+from repro.analysis.roofline import attainable_gflops, classify, ridge_point
+from repro.analysis.stencil import analyze_stencil, classify_offsets
+from repro.cudalite.parser import parse_kernel
+from repro.gpu.device import K20X
+
+
+def test_classify_point():
+    shape = classify_offsets({(0, 0, 0)})
+    assert shape.kind == "point"
+    assert shape.radius == 0
+
+
+def test_classify_star_5pt():
+    offsets = {(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)}
+    shape = classify_offsets(offsets)
+    assert shape.kind == "star"
+    assert shape.points == 5
+    assert shape.radius == 1
+    assert shape.label == "star-5pt-r1"
+
+
+def test_classify_box_9pt():
+    offsets = {(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)}
+    shape = classify_offsets(offsets)
+    assert shape.kind == "box"
+    assert shape.points == 9
+
+
+def test_classify_wide_star():
+    offsets = {(0, 0), (2, 0), (-2, 0)}
+    shape = classify_offsets(offsets)
+    assert shape.radius == 2
+    assert shape.kind == "star"
+
+
+def test_analyze_stencil_kernel():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, const double *B, int nx, int ny, int nz) {"
+        " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        " int j = blockIdx.y * blockDim.y + threadIdx.y;"
+        " if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {"
+        "   for (int k = 0; k < nz; k++) {"
+        "     A[i][j][k] = B[i + 1][j][k] + B[i - 1][j][k] + B[i][j + 1][k] + B[i][j - 1][k] + B[i][j][k];"
+        "   } } }"
+    )
+    info = analyze_stencil(kernel)
+    assert info.is_stencil
+    assert info.max_radius == 1
+    assert info.loop_depth == 1
+    by_name = {s.array: s for s in info.stencils}
+    assert by_name["B"].shape.label == "star-5pt-r1"
+    assert by_name["A"].shape.kind == "point"
+
+
+def test_constant_loop_size_detected():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 0; m < 7; m++) { A[m] = 1.0; } }"
+    )
+    info = analyze_stencil(kernel)
+    assert info.loop_sizes["m"] == 7
+
+
+def test_param_loop_size_is_none():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 0; m < n; m++) { A[m] = 1.0; } }"
+    )
+    info = analyze_stencil(kernel)
+    assert info.loop_sizes["m"] is None
+
+
+def test_irregular_marks_kernel():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, const double *B, int n) {"
+        " int i = threadIdx.x; A[i] = B[i * 3]; }"
+    )
+    info = analyze_stencil(kernel)
+    assert info.irregular
+
+
+# --------------------------------------------------------------------- roofline
+
+
+def test_ridge_point_k20x():
+    assert ridge_point(K20X) == pytest.approx(1310.0 / 250.0)
+
+
+def test_memory_bound_classification():
+    point = classify("k", flops=1e6, bytes_moved=1e6, device=K20X)
+    assert point.bound == "memory"
+    assert not point.is_compute_bound
+
+
+def test_compute_bound_classification():
+    point = classify("k", flops=1e8, bytes_moved=1e6, device=K20X)
+    assert point.bound == "compute"
+
+
+def test_zero_bytes_is_compute_bound():
+    point = classify("k", flops=10.0, bytes_moved=0.0, device=K20X)
+    assert point.is_compute_bound
+
+
+def test_attainable_gflops_ceiling():
+    assert attainable_gflops(1000.0, K20X) == K20X.peak_gflops_dp
+    low = attainable_gflops(1.0, K20X)
+    assert low == pytest.approx(K20X.peak_bandwidth_gbs)

@@ -1,0 +1,217 @@
+"""Tests for kernel_model extraction, block tuning, host rewrite, builders."""
+
+import pytest
+
+from repro.cudalite import ast_nodes as ast
+from repro.cudalite import builders as b
+from repro.cudalite import parse_program, unparse
+from repro.cudalite.parser import parse_expr, parse_kernel
+from repro.errors import TransformError
+from repro.gpu.device import K20X
+from repro.transform import (
+    NewLaunch,
+    assemble_program,
+    extract_model,
+    rename_expr,
+    rename_stmt,
+    rewrite_host,
+    substitute_expr,
+    tune_kernel_block,
+)
+from repro.transform.blocksize import smem_per_thread
+
+
+# ------------------------------------------------------------- kernel model
+
+
+def test_extract_model_canonical(diffuse_program):
+    model = extract_model(diffuse_program.kernel("diffuse"))
+    assert model is not None
+    assert model.index_vars == {"x": "i", "y": "j"}
+    assert model.guard is not None
+    assert model.k_loop is not None
+    assert not model.has_deep_loops
+
+
+def test_extract_model_deep_loops():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, const double *B, int nx, int nz) {"
+        " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        " if (i < nx) {"
+        "   for (int k = 0; k < nz; k++) {"
+        "     for (int m = 0; m < 4; m++) { A[i] += B[i] * 1.0; }"
+        "   } } }"
+    )
+    model = extract_model(kernel)
+    assert model is not None
+    assert model.has_deep_loops
+
+
+def test_extract_model_unguarded():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        " A[i] = 1.0; }"
+    )
+    model = extract_model(kernel)
+    assert model is not None
+    assert model.guard is None
+
+
+def test_extract_model_rejects_while():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " while (n > 0) { A[0] = 1.0; n = n - 1; } }"
+    )
+    assert extract_model(kernel) is None
+
+
+def test_extract_model_rejects_preexisting_shared():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) {"
+        " __shared__ double t[8];"
+        " int i = threadIdx.x; t[i] = 1.0; A[i] = t[i]; }"
+    )
+    assert extract_model(kernel) is None
+
+
+def test_rename_expr():
+    expr = parse_expr("A[i + 1] * c + foo(i)")
+    renamed = rename_expr(expr, {"i": "ii", "A": "AA", "c": "cc"})
+    from repro.cudalite.unparser import unparse_expr
+
+    assert unparse_expr(renamed) == "AA[ii + 1] * cc + foo(ii)"
+
+
+def test_rename_stmt_renames_declarations():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int n) { double t = 1.0; A[0] = t; }"
+    )
+    renamed = rename_stmt(kernel.body.stmts[0], {"t": "t_k0"})
+    assert renamed.name == "t_k0"
+
+
+def test_substitute_expr():
+    expr = parse_expr("i + j * 2")
+    out = substitute_expr(expr, {"i": parse_expr("gx - 1")})
+    from repro.cudalite.unparser import unparse_expr
+
+    assert unparse_expr(out) == "gx - 1 + j * 2"
+
+
+# --------------------------------------------------------------- block tuning
+
+
+def test_tune_kernel_block_improves_small_block():
+    decision = tune_kernel_block(K20X, "k", (16, 4, 1), 0, 32)
+    assert decision.occupancy_after > decision.occupancy_before
+    assert decision.changed
+
+
+def test_tune_kernel_block_keeps_good_config():
+    decision = tune_kernel_block(K20X, "k", (32, 8, 1), 0, 32)
+    assert not decision.changed
+    assert decision.tuned_block == (32, 8, 1)
+
+
+def test_smem_per_thread():
+    assert smem_per_thread(2560, (32, 8, 1)) == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------- host code
+
+
+def test_rewrite_host_replaces_launches(three_kernel_program):
+    new = [
+        NewLaunch("K_00", (4, 4, 1), (8, 8, 1), (ast.Ident("A"), ast.Ident("B"))),
+    ]
+    main = rewrite_host(three_kernel_program.main(), new)
+    launches = [s for s in main.body.walk() if isinstance(s, ast.Launch)]
+    assert len(launches) == 1
+    assert launches[0].kernel == "K_00"
+    # allocations survive
+    text = unparse(main)
+    assert "cudaMalloc3D" in text
+
+
+def test_rewrite_host_requires_a_launch():
+    host = parse_program("int main() { int n = 4; return 0; }").main()
+    with pytest.raises(TransformError):
+        rewrite_host(host, [NewLaunch("K", (1, 1, 1), (1, 1, 1), ())])
+
+
+def test_assemble_program_validates_kernels(three_kernel_program):
+    with pytest.raises(TransformError, match="undefined"):
+        assemble_program(
+            three_kernel_program,
+            [],
+            [NewLaunch("ghost", (1, 1, 1), (8, 1, 1), ())],
+        )
+
+
+def test_assemble_program_launch_order(three_kernel_program):
+    k1 = three_kernel_program.kernel("k1")
+    launches = [
+        NewLaunch("k1", (4, 4, 1), (8, 8, 1),
+                  tuple(ast.Ident(a) for a in ("A", "B"))
+                  + (ast.IntLit(32), ast.IntLit(32), ast.IntLit(8))),
+        NewLaunch("k1", (2, 2, 1), (8, 8, 1),
+                  tuple(ast.Ident(a) for a in ("A", "B"))
+                  + (ast.IntLit(16), ast.IntLit(16), ast.IntLit(8))),
+    ]
+    program = assemble_program(three_kernel_program, [k1], launches)
+    emitted = [s for s in program.main().body.walk() if isinstance(s, ast.Launch)]
+    assert len(emitted) == 2
+    assert emitted[0].grid == ast.Call("dim3", (ast.IntLit(4), ast.IntLit(4), ast.IntLit(1)))
+
+
+# ------------------------------------------------------------------ builders
+
+
+def test_builders_constant_folding():
+    assert b.add(1, 2) == ast.IntLit(3)
+    assert b.add("i", 0) == ast.Ident("i")
+    assert b.add("i", -2) == ast.Binary("-", ast.Ident("i"), ast.IntLit(2))
+    assert b.mul(1, "x") == ast.Ident("x")
+    assert b.sub("i", 0) == ast.Ident("i")
+
+
+def test_builders_logical_and():
+    cond = b.logical_and(b.lt("i", "n"), b.ge("j", 1))
+    assert cond.op == "&&"
+    assert b.logical_and() == ast.BoolLit(True)
+
+
+def test_builders_global_index_matches_analysis():
+    from repro.analysis.accesses import _match_global_index
+
+    assert _match_global_index(b.global_index("x")) == "x"
+    assert _match_global_index(b.global_index("z")) == "z"
+
+
+def test_builders_program_executes():
+    from repro.gpu.interpreter import run_program
+    import numpy as np
+
+    kernel = b.kernel(
+        "fill",
+        [b.param("double", "A", pointer=True), b.param("int", "n")],
+        [
+            b.decl("int", "i", b.global_index("x")),
+            b.if_(b.lt("i", "n"), [b.assign(b.idx("A", "i"), 4.5)]),
+        ],
+    )
+    main = b.host_main(
+        [
+            b.decl("int", "n", 32),
+            ast.VarDecl(
+                ast.TypeSpec("double", is_pointer=True),
+                "A",
+                b.call("cudaMalloc1D", "n"),
+            ),
+            b.launch("fill", (1, 1, 1), (32, 1, 1), ["A", "n"]),
+            ast.Return(ast.IntLit(0)),
+        ]
+    )
+    result = run_program(b.program([kernel, main]))
+    assert np.all(result.arrays["A"] == 4.5)

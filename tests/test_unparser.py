@@ -1,0 +1,158 @@
+"""Unparser tests: formatting and the parse/unparse round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cudalite import ast_nodes as ast
+from repro.cudalite import builders as b
+from repro.cudalite.parser import parse_expr, parse_program
+from repro.cudalite.unparser import unparse, unparse_expr
+
+from conftest import CHAIN_SRC, DIFFUSE_SRC, SEPARABLE_SRC, THREE_KERNEL_SRC
+
+
+@pytest.mark.parametrize(
+    "source", [DIFFUSE_SRC, CHAIN_SRC, THREE_KERNEL_SRC, SEPARABLE_SRC]
+)
+def test_round_trip_fixture_programs(source):
+    program = parse_program(source)
+    assert parse_program(unparse(program)) == program
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "a + b * c",
+        "(a + b) * c",
+        "a - (b - c)",
+        "-a * b",
+        "a && b || c",
+        "a && (b || c)",
+        "x < y ? p + 1 : q",
+        "A[i + 1][j - 2][k]",
+        "sqrt(fabs(x))",
+        "blockIdx.x * blockDim.x + threadIdx.x",
+        "a / b / c",
+        "a / (b / c)",
+        "!(a < b)",
+        "a % 2 == 0",
+    ],
+)
+def test_expression_round_trip(text):
+    expr = parse_expr(text)
+    assert parse_expr(unparse_expr(expr)) == expr
+
+
+def test_minimal_parentheses():
+    assert unparse_expr(parse_expr("a + b * c")) == "a + b * c"
+    assert unparse_expr(parse_expr("(a + b) * c")) == "(a + b) * c"
+    assert unparse_expr(parse_expr("a * b + c")) == "a * b + c"
+
+
+def test_indentation_style(diffuse_program):
+    text = unparse(diffuse_program)
+    assert "    int i = blockIdx.x * blockDim.x + threadIdx.x;" in text
+    assert "\t" not in text
+
+
+def test_float_literal_text_preserved():
+    program = parse_program(
+        "__global__ void k(double *A) { A[0] = 0.25; A[1] = 1e-3; }\n"
+    )
+    text = unparse(program)
+    assert "0.25" in text
+    assert "1e-3" in text
+
+
+def test_for_loop_formats_increment():
+    program = parse_program(
+        "__global__ void k(double *A, int n) {"
+        " for (int m = 0; m < n; m++) { A[m] = 1.0; }"
+        " for (int q = 0; q < n; q += 2) { A[q] = 2.0; }"
+        "}"
+    )
+    text = unparse(program)
+    assert "m++" in text
+    assert "q += 2" in text
+
+
+def test_shared_decl_format():
+    program = parse_program(
+        "__global__ void k(double *A) { __shared__ double t[18][10]; }"
+    )
+    assert "__shared__ double t[18][10];" in unparse(program)
+
+
+def test_launch_format(diffuse_program):
+    text = unparse(diffuse_program)
+    assert "diffuse<<<grid, block>>>(A, B, nx, ny, nz, 0.25);" in text
+
+
+# ---------------------------------------------------------------- hypothesis
+
+
+_names = st.sampled_from(["a", "b", "c", "x", "y", "n"])
+
+
+def _exprs(depth):
+    if depth <= 0:
+        return st.one_of(
+            st.integers(min_value=0, max_value=99).map(ast.IntLit),
+            _names.map(ast.Ident),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        st.integers(min_value=0, max_value=99).map(ast.IntLit),
+        _names.map(ast.Ident),
+        st.tuples(
+            st.sampled_from(["+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "&&", "||"]),
+            sub,
+            sub,
+        ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["-", "!"]), sub).map(
+            lambda t: ast.Unary(t[0], t[1])
+        ),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Ternary(t[0], t[1], t[2])),
+        st.tuples(_names, st.lists(sub, min_size=1, max_size=3)).map(
+            lambda t: ast.Index(ast.Ident(t[0]), tuple(t[1]))
+        ),
+    )
+
+
+@given(_exprs(3))
+@settings(max_examples=200, deadline=None)
+def test_expression_round_trip_property(expr):
+    """After one normalization round, unparse/parse is a fix-point.
+
+    (The parser folds ``-<literal>`` into a negative literal, so raw ASTs
+    may normalize once; the emitted text must then be stable.)
+    """
+    text = unparse_expr(expr)
+    normalized = parse_expr(text)
+    text2 = unparse_expr(normalized)
+    assert parse_expr(text2) == normalized
+
+
+@given(
+    st.lists(
+        st.tuples(_names, _exprs(2)),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_statement_round_trip_property(assignments):
+    stmts = [b.assign(b.idx("A", name), value) for name, value in assignments]
+    kernel = b.kernel(
+        "k",
+        [b.param("double", "A", pointer=True)]
+        + [b.param("int", v) for v in sorted({n for n, _ in assignments})]
+        + [b.param("int", q) for q in ("a", "b", "c", "x", "y", "n")
+           if q not in {n for n, _ in assignments}],
+        stmts,
+    )
+    program = b.program([kernel])
+    # fix-point after one normalization round (negative-literal folding)
+    normalized = parse_program(unparse(program))
+    assert parse_program(unparse(normalized)) == normalized

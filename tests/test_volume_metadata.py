@@ -1,0 +1,156 @@
+"""Volume estimation, metadata gathering and file round-trip tests."""
+
+import pytest
+
+from repro.analysis.metadata import ProgramMetadata
+from repro.analysis.volume import (
+    bind_scalars,
+    estimate_volume,
+    eval_scalar_expr,
+    extract_guard_bounds,
+)
+from repro.cudalite.parser import parse_expr, parse_kernel
+from repro.gpu.device import K20X
+from repro.gpu.profiler import declared_shared_bytes, gather_metadata
+
+
+GUARDED = """
+__global__ void k(double *A, const double *B, int nx, int ny, int nz) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i >= 1 && i < nx - 1 && j >= 2 && j < ny) {
+        for (int k = 0; k < nz; k++) {
+            A[i][j][k] = B[i][j][k] * 2.0;
+        }
+    }
+}
+"""
+
+
+def test_eval_scalar_expr():
+    env = {"nx": 32, "c": 0.5}
+    assert eval_scalar_expr(parse_expr("nx - 1"), env) == 31
+    assert eval_scalar_expr(parse_expr("nx * 2 + 1"), env) == 65
+    assert eval_scalar_expr(parse_expr("c"), env) == 0.5
+    assert eval_scalar_expr(parse_expr("missing"), env) is None
+
+
+def test_guard_bounds_extraction():
+    kernel = parse_kernel(GUARDED)
+    bounds = extract_guard_bounds(
+        kernel, {"i": "x", "j": "y"}, {"nx": 32, "ny": 16, "nz": 4},
+        {"i": 32, "j": 16},
+    )
+    assert (bounds["i"].lo, bounds["i"].hi) == (1, 31)
+    assert (bounds["j"].lo, bounds["j"].hi) == (2, 16)
+
+
+def test_equality_guard_pins_axis():
+    kernel = parse_kernel(
+        "__global__ void k(double *A, int nx) {"
+        " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        " if (i == 0) { A[i] = 1.0; } }"
+    )
+    bounds = extract_guard_bounds(kernel, {"i": "x"}, {"nx": 32}, {"i": 32})
+    assert bounds["i"].extent == 1
+
+
+def test_estimate_volume_active_domain():
+    kernel = parse_kernel(GUARDED)
+    volume = estimate_volume(
+        kernel, (4, 2, 1), (8, 8, 1), {"nx": 32, "ny": 16, "nz": 4}
+    )
+    assert volume.launched_threads == 32 * 16
+    assert volume.active_threads == 30 * 14
+    assert volume.points_per_array["A"] == 30 * 14 * 4  # x loop trips
+    assert volume.arrays_read == {"B"}
+    assert volume.arrays_written == {"A"}
+    assert volume.flops > 0
+
+
+def test_bind_scalars():
+    kernel = parse_kernel(GUARDED)
+    env = bind_scalars(kernel, (32, 16, 4))
+    assert env == {"nx": 32, "ny": 16, "nz": 4}
+
+
+def test_bind_scalars_arity_error():
+    from repro.errors import AnalysisError
+
+    kernel = parse_kernel(GUARDED)
+    with pytest.raises(AnalysisError):
+        bind_scalars(kernel, (32, 16))
+
+
+def test_declared_shared_bytes():
+    kernel = parse_kernel(
+        "__global__ void k(double *A) { __shared__ double t[10][12]; }"
+    )
+    assert declared_shared_bytes(kernel) == 10 * 12 * 8
+
+
+# ----------------------------------------------------------------- metadata
+
+
+def test_gather_metadata_basic(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    assert set(meta.kernels()) == {"k1", "k2", "k3"}
+    assert len(meta.launch_order) == 3
+    assert meta.array_shapes["A"] == (32, 32, 8)
+    perf = meta.performance["k1"]
+    assert perf.runtime_s > 0
+    assert perf.occupancy > 0
+    ops = meta.operations["k1"]
+    assert ops.arrays_read == ["B"]
+    assert ops.arrays_written == ["A"]
+
+
+def test_metadata_shared_arrays_cross_kernel(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    # B is read by k1 and k2; A by k1 (write) and k3 (read)
+    assert "B" in meta.operations["k1"].shared_arrays
+    assert "A" in meta.operations["k3"].shared_arrays
+
+
+def test_metadata_launch_order_has_scalars(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    kernel, args, grid, block, scalars = meta.launch_order[0]
+    assert kernel == "k1"
+    assert args == ("A", "B")
+    assert scalars == (32.0, 32.0, 8.0)
+
+
+def test_metadata_file_roundtrip(three_kernel_program, tmp_path):
+    meta = gather_metadata(three_kernel_program, K20X)
+    meta.write(tmp_path)
+    assert (tmp_path / "performance.meta").exists()
+    assert (tmp_path / "operations.meta").exists()
+    assert (tmp_path / "device.meta").exists()
+    loaded = ProgramMetadata.read(tmp_path)
+    assert loaded.device.name == "K20X"
+    assert set(loaded.performance) == set(meta.performance)
+    assert loaded.operations["k1"].arrays_read == meta.operations["k1"].arrays_read
+    assert loaded.launch_order == meta.launch_order
+    assert loaded.array_shapes == meta.array_shapes
+    assert loaded.performance["k2"].runtime_s == pytest.approx(
+        meta.performance["k2"].runtime_s
+    )
+
+
+def test_metadata_files_are_hand_editable(three_kernel_program, tmp_path):
+    """The programmer-intervention surface: edit a value, read it back."""
+    meta = gather_metadata(three_kernel_program, K20X)
+    meta.write(tmp_path)
+    perf = (tmp_path / "performance.meta").read_text()
+    perf = perf.replace("invocations = 1", "invocations = 7", 1)
+    (tmp_path / "performance.meta").write_text(perf)
+    loaded = ProgramMetadata.read(tmp_path)
+    assert 7 in {p.invocations for p in loaded.performance.values()}
+
+
+def test_total_runtime(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    total = meta.total_runtime_s()
+    assert total == pytest.approx(
+        sum(p.runtime_s * p.invocations for p in meta.performance.values())
+    )
