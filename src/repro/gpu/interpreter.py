@@ -13,12 +13,28 @@ Two execution strategies are used:
     next starts.  This matches CUDA semantics for data-parallel stencil
     kernels (no inter-thread communication).
 
-``per-block`` (automatic for kernels that declare ``__shared__`` tiles)
-    Blocks execute one at a time (a Python loop over the launch grid), with
-    a real per-block shared-memory array.  This faithfully reproduces the
-    *scope* of shared memory: a tile only sees the values its own block
-    staged, so generated code with insufficient halo layers produces wrong
-    answers here just as it would on hardware.
+``per-block`` (kernels that declare ``__shared__`` tiles)
+    Blocks execute with a real per-block shared-memory array.  This
+    faithfully reproduces the *scope* of shared memory: a tile only sees
+    the values its own block staged, so generated code with insufficient
+    halo layers produces wrong answers here just as it would on hardware.
+    Two interchangeable implementations exist:
+
+    ``loop``
+        A Python loop over the launch grid; one block at a time.
+
+    ``batched`` (default where applicable)
+        All blocks execute together, each statement evaluated across the
+        whole launch as numpy arrays with a leading *block axis*.  Shared
+        arrays gain the same leading axis, so per-block scoping is
+        preserved bit-exactly while the Python-level interpretation cost
+        is paid once per statement instead of once per block.  Kernels
+        whose loop bounds, while conditions or shared extents are not
+        block-invariant fall back to ``loop`` automatically, as does race
+        detection.  Select explicitly via the ``block_exec`` argument of
+        :func:`run_program` / :class:`HostInterpreter` or the
+        ``REPRO_BLOCK_EXEC`` environment variable (``auto`` | ``loop`` |
+        ``batched``).
 
 Statements act as implicit barriers in both modes (a vectorized statement
 completes for every thread before the next begins).  ``__syncthreads()``
@@ -27,7 +43,7 @@ placement is additionally validated statically by the transformation tests.
 
 from __future__ import annotations
 
-import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -38,6 +54,15 @@ from ..errors import InterpreterError, OutOfBoundsError
 
 Scalar = Union[int, float, bool]
 Value = Union[Scalar, np.ndarray]
+
+ENV_BLOCK_EXEC = "REPRO_BLOCK_EXEC"
+_BLOCK_EXEC_MODES = ("auto", "loop", "batched")
+
+
+def block_exec_from_env(default: str = "auto") -> str:
+    """Resolve the shared-memory execution strategy from the environment."""
+    raw = os.environ.get(ENV_BLOCK_EXEC, default).strip().lower()
+    return raw if raw in _BLOCK_EXEC_MODES else default
 
 
 @dataclass(frozen=True)
@@ -166,6 +191,7 @@ class _KernelExec:
         arrays: Dict[str, np.ndarray],
         detect_races: bool = False,
         block_order: str = "forward",
+        block_exec: str = "auto",
     ) -> None:
         self.kernel = kernel
         self.grid = grid
@@ -173,8 +199,12 @@ class _KernelExec:
         self.arrays = arrays
         self.detect_races = detect_races
         self.block_order = block_order
+        self.block_exec = block_exec
         self.env: Dict[str, Value] = {}
         self.shared: Dict[str, np.ndarray] = {}
+        #: in batched mode, the positional block index (nb, 1, 1, 1) used to
+        #: address the leading axis of batched shared arrays; None otherwise
+        self._block_axis: Optional[np.ndarray] = None
         params = kernel.params
         if len(args) != len(params):
             raise InterpreterError(
@@ -197,10 +227,161 @@ class _KernelExec:
         )
 
     def run(self) -> None:
-        if self.uses_shared():
-            self._run_per_block()
-        else:
+        if not self.uses_shared():
             self._run_vectorized()
+            return
+        mode = self.block_exec
+        if mode not in _BLOCK_EXEC_MODES:
+            raise InterpreterError(f"unknown block_exec mode {mode!r}")
+        if self.detect_races:
+            # the scatter race checks reason about one block at a time;
+            # cross-block writes in the same statement would be flagged as
+            # intra-block races under batching
+            mode = "loop"
+        elif mode == "auto":
+            mode = "batched" if self._batchable() else "loop"
+        if mode == "batched":
+            self._run_batched()
+        else:
+            self._run_per_block()
+
+    def _batchable(self) -> bool:
+        """True when batched execution is bit-equivalent to the block loop.
+
+        Two requirements:
+
+        * every construct the batched mode must scalarize — loop bounds,
+          while conditions, shared extents — is statically block-invariant
+          (literals, scalar parameters, blockDim/gridDim);
+        * no global array is both read and written by the kernel.  The
+          sequential block loop lets a later block observe an earlier
+          block's global writes, a visibility the all-blocks-at-once
+          lattice cannot reproduce; restricting batching to kernels with
+          disjoint global read/write sets (by array identity, so aliased
+          parameters count) keeps the loop mode's power to expose
+          inter-block races through ``block_order`` comparisons.
+        """
+        if self._global_rw_conflict():
+            return False
+        scalar_params = {
+            p.name for p in self.kernel.params if not p.type.is_pointer
+        }
+
+        def uniform(expr: ast.Expr) -> bool:
+            if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+                return True
+            if isinstance(expr, ast.Ident):
+                return expr.name in scalar_params
+            if isinstance(expr, ast.Member):
+                return isinstance(expr.obj, ast.Ident) and expr.obj.name in (
+                    "blockDim",
+                    "gridDim",
+                )
+            if isinstance(expr, ast.Unary):
+                return uniform(expr.operand)
+            if isinstance(expr, ast.Binary):
+                return uniform(expr.lhs) and uniform(expr.rhs)
+            if isinstance(expr, ast.Ternary):
+                return (
+                    uniform(expr.cond)
+                    and uniform(expr.then)
+                    and uniform(expr.els)
+                )
+            if isinstance(expr, ast.Call):
+                return all(uniform(a) for a in expr.args)
+            return False
+
+        for node in self.kernel.body.walk():
+            if isinstance(node, ast.For):
+                if not (
+                    uniform(node.start)
+                    and uniform(node.bound)
+                    and uniform(node.step)
+                ):
+                    return False
+            elif isinstance(node, ast.While):
+                if not uniform(node.cond):
+                    return False
+            elif isinstance(node, ast.VarDecl) and node.is_shared:
+                if not all(uniform(d) for d in node.array_dims):
+                    return False
+        return True
+
+    def _global_rw_conflict(self) -> bool:
+        """Does any device array get both read and written by this kernel?
+
+        Collected syntactically per pointer parameter, then intersected by
+        the identity of the bound numpy arrays so that two parameters
+        aliasing one allocation conflict as well.
+        """
+        pointer_params = {
+            p.name for p in self.kernel.params if p.type.is_pointer
+        }
+        reads: set = set()
+        writes: set = set()
+
+        def expr_reads(expr: ast.Expr) -> None:
+            for node in expr.walk():
+                if isinstance(node, ast.Index) and node.array_name in pointer_params:
+                    reads.add(node.array_name)
+
+        def visit(stmt: ast.Stmt) -> None:
+            if isinstance(stmt, ast.Assign):
+                target = stmt.target
+                if isinstance(target, ast.Index):
+                    if target.array_name in pointer_params:
+                        writes.add(target.array_name)
+                        if stmt.op != "=":
+                            reads.add(target.array_name)
+                    for e in target.indices:
+                        expr_reads(e)
+                expr_reads(stmt.value)
+            elif isinstance(stmt, ast.VarDecl):
+                for d in stmt.array_dims:
+                    expr_reads(d)
+                if stmt.init is not None:
+                    expr_reads(stmt.init)
+            elif isinstance(stmt, ast.If):
+                expr_reads(stmt.cond)
+                visit(stmt.then)
+                if stmt.els is not None:
+                    visit(stmt.els)
+            elif isinstance(stmt, ast.For):
+                expr_reads(stmt.start)
+                expr_reads(stmt.bound)
+                expr_reads(stmt.step)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.While):
+                expr_reads(stmt.cond)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.ExprStmt):
+                expr_reads(stmt.expr)
+            elif isinstance(stmt, ast.Block):
+                for s in stmt.stmts:
+                    visit(s)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    expr_reads(stmt.value)
+
+        visit(self.kernel.body)
+        read_ids = {
+            id(self.env[n]) for n in reads if isinstance(self.env.get(n), np.ndarray)
+        }
+        write_ids = {
+            id(self.env[n]) for n in writes if isinstance(self.env.get(n), np.ndarray)
+        }
+        return bool(read_ids & write_ids)
+
+    def _visit_order(self) -> List[Tuple[int, int, int]]:
+        blocks = [
+            (gx, gy, gz)
+            for gz in range(self.grid.z)
+            for gy in range(self.grid.y)
+            for gx in range(self.grid.x)
+        ]
+        if self.block_order == "reverse":
+            blocks.reverse()
+        return blocks
 
     def _run_vectorized(self) -> None:
         gx, gy, gz = self.grid.as_tuple()
@@ -226,20 +407,40 @@ class _KernelExec:
             "z": np.arange(bz).reshape(1, 1, bz),
         }
         base_env = dict(self.env)
-        blocks = [
-            (gx, gy, gz)
-            for gz in range(self.grid.z)
-            for gy in range(self.grid.y)
-            for gx in range(self.grid.x)
-        ]
-        if self.block_order == "reverse":
-            blocks.reverse()
-        for gx, gy, gz in blocks:
+        for gx, gy, gz in self._visit_order():
             self.bidx = {"x": gx, "y": gy, "z": gz}
             self.env = dict(base_env)
             self.shared = {}
             mask = np.ones((), dtype=bool)
             self._exec_block(self.kernel.body, mask)
+
+    def _run_batched(self) -> None:
+        """Per-block semantics, one extra numpy axis instead of a loop.
+
+        The lattice is ``(nb, bx, by, bz)``: axis 0 enumerates the blocks
+        of the launch grid *in visit order* (so numpy's last-wins scatter
+        resolution of duplicate indices reproduces the sequential loop's
+        block ordering, forward or reverse), and the remaining axes are
+        the intra-block thread coordinates.  Shared arrays carry the same
+        leading block axis, keeping tiles scoped to their own block.
+        """
+        blocks = self._visit_order()
+        nb = len(blocks)
+        bx, by, bz = self.block.as_tuple()
+        self.lattice_shape = (nb, bx, by, bz)
+        self.tidx = {
+            "x": np.arange(bx).reshape(1, bx, 1, 1),
+            "y": np.arange(by).reshape(1, 1, by, 1),
+            "z": np.arange(bz).reshape(1, 1, 1, bz),
+        }
+        self.bidx = {
+            "x": np.array([b[0] for b in blocks]).reshape(nb, 1, 1, 1),
+            "y": np.array([b[1] for b in blocks]).reshape(nb, 1, 1, 1),
+            "z": np.array([b[2] for b in blocks]).reshape(nb, 1, 1, 1),
+        }
+        self._block_axis = np.arange(nb).reshape(nb, 1, 1, 1)
+        mask = np.ones((), dtype=bool)
+        self._exec_block(self.kernel.body, mask)
 
     # -------------------------------------------------------------- statements
 
@@ -289,6 +490,9 @@ class _KernelExec:
                 value = self._eval_scalar(dim, "shared array dimension")
                 dims.append(int(value))
             dtype = np.float64 if decl.type.base in ("double", "float") else np.int64
+            if self._block_axis is not None:
+                # one tile per block, stacked along the batch axis
+                dims = [self.lattice_shape[0]] + dims
             self.shared[decl.name] = np.zeros(tuple(dims), dtype=dtype)
             return
         if decl.array_dims:
@@ -353,18 +557,29 @@ class _KernelExec:
 
     def _index_arrays(
         self, target: ast.Index, mask: Value
-    ) -> Tuple[np.ndarray, List[Value]]:
+    ) -> Tuple[np.ndarray, List[np.ndarray], List[Value]]:
+        """Resolve an index expression to (array, prefix, user indices).
+
+        ``prefix`` is the implicit leading block-axis index for batched
+        shared arrays (empty otherwise); the user-visible dimensionality
+        is checked against the declared shape without the batch axis.
+        """
         name = target.array_name
         if name is None:
             raise InterpreterError("array base must be a name")
         arr = self._lookup_array(name)
-        if len(target.indices) != arr.ndim:
+        prefix: List[np.ndarray] = []
+        ndim = arr.ndim
+        if self._block_axis is not None and name in self.shared:
+            prefix = [self._block_axis]
+            ndim -= 1
+        if len(target.indices) != ndim:
             raise InterpreterError(
-                f"array {name!r} has {arr.ndim} dims, indexed with "
+                f"array {name!r} has {ndim} dims, indexed with "
                 f"{len(target.indices)}"
             )
         idxs = [self._eval(e, mask) for e in target.indices]
-        return arr, idxs
+        return arr, prefix, idxs
 
     def _validate_indices(
         self,
@@ -372,12 +587,17 @@ class _KernelExec:
         arr: np.ndarray,
         idxs: List[Value],
         mask: Value,
+        offset: int = 0,
     ) -> List[Value]:
-        """Check active-thread indices are in bounds; clip inactive ones."""
+        """Check active-thread indices are in bounds; clip inactive ones.
+
+        ``offset`` skips leading storage axes that carry no user index
+        (the block axis of a batched shared array).
+        """
         masked = isinstance(mask, np.ndarray) and mask.ndim > 0
         safe: List[Value] = []
         for axis, idx in enumerate(idxs):
-            extent = arr.shape[axis]
+            extent = arr.shape[axis + offset]
             if isinstance(idx, np.ndarray) and idx.ndim > 0:
                 bad = (idx < 0) | (idx >= extent)
                 if masked:
@@ -399,14 +619,14 @@ class _KernelExec:
         return safe
 
     def _store_array(self, target: ast.Index, value: Value, mask: Value) -> None:
-        arr, idxs = self._index_arrays(target, mask)
+        arr, prefix, idxs = self._index_arrays(target, mask)
         name = target.array_name or "<anon>"
-        idxs = self._validate_indices(name, arr, idxs, mask)
+        idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
         vector_axes = [
             i for i, idx in enumerate(idxs) if isinstance(idx, np.ndarray) and idx.ndim
         ]
         masked = isinstance(mask, np.ndarray) and mask.ndim > 0
-        if not vector_axes:
+        if not vector_axes and not prefix:
             # thread-invariant store: every active thread hits one location
             if masked and not np.any(mask):
                 return
@@ -427,9 +647,23 @@ class _KernelExec:
                     )
             arr[tuple(int(i) for i in idxs)] = self._scalarize(value, mask)
             return
-        broadcast = np.broadcast(*[np.asarray(i) for i in idxs])
-        shape = broadcast.shape
-        full_idxs = [np.broadcast_to(np.asarray(i), shape) for i in idxs]
+        if not vector_axes:
+            # batched shared array, thread-invariant user indices: each
+            # block independently stores its first active thread's value
+            # into its own tile slot (the per-block scalar-store rule)
+            self._store_shared_scalar(arr, idxs, value, mask)
+            return
+        all_idxs = list(prefix) + list(idxs)
+        # the broadcast lattice must also cover value/mask variance that the
+        # indices alone do not span (e.g. a block-axis prefix of (nb,1,1,1)
+        # stored with thread-varying values of shape (1,bx,1,1))
+        shapes = [np.asarray(i).shape for i in all_idxs]
+        if isinstance(value, np.ndarray):
+            shapes.append(value.shape)
+        if masked:
+            shapes.append(np.asarray(mask).shape)
+        shape = np.broadcast_shapes(*shapes)
+        full_idxs = [np.broadcast_to(np.asarray(i), shape) for i in all_idxs]
         value_arr = np.broadcast_to(np.asarray(value), shape)
         if masked:
             mask_arr = np.broadcast_to(mask, shape)
@@ -442,6 +676,29 @@ class _KernelExec:
                 flat = tuple(ix.ravel() for ix in full_idxs)
                 self._check_race(name, arr, flat, value_arr.ravel())
             arr[tuple(full_idxs)] = value_arr
+
+    def _store_shared_scalar(
+        self, arr: np.ndarray, idxs: List[Value], value: Value, mask: Value
+    ) -> None:
+        """Batched equivalent of the loop-mode scalar store to shared memory:
+        block ``b`` writes the value its first active thread holds, blocks
+        with no active thread leave their slot untouched."""
+        nb = self.lattice_shape[0]
+        masked = isinstance(mask, np.ndarray) and mask.ndim > 0
+        if masked and not np.any(mask):
+            return
+        shape = self.lattice_shape
+        v = np.broadcast_to(np.asarray(value), shape).reshape(nb, -1)
+        m = (
+            np.broadcast_to(mask, shape).reshape(nb, -1)
+            if masked
+            else np.ones((nb, 1), dtype=bool)
+        )
+        active = m.any(axis=1)
+        first = m.argmax(axis=1)
+        picked = v[np.arange(nb), np.minimum(first, v.shape[1] - 1)]
+        cell = tuple(int(i) for i in idxs)
+        arr[(np.arange(nb)[active],) + cell] = picked[active]
 
     def _check_race(
         self, name: str, arr: np.ndarray, sel: Tuple[np.ndarray, ...], values: np.ndarray
@@ -461,8 +718,27 @@ class _KernelExec:
     def _scalarize(self, value: Value, mask: Value) -> Scalar:
         if isinstance(value, np.ndarray) and value.ndim > 0:
             masked = isinstance(mask, np.ndarray) and mask.ndim > 0
+            shape = (
+                np.broadcast_shapes(value.shape, mask.shape)
+                if masked
+                else value.shape
+            )
+            if self._block_axis is not None and len(shape) == 4 and shape[0] > 1:
+                # batched: the sequential loop would have every active block
+                # write in turn, so the surviving value belongs to the LAST
+                # active block (first active thread within it)
+                v = np.broadcast_to(value, shape).reshape(shape[0], -1)
+                m = (
+                    np.broadcast_to(mask, shape).reshape(shape[0], -1)
+                    if masked
+                    else np.ones((shape[0], 1), dtype=bool)
+                )
+                active = np.nonzero(m.any(axis=1))[0]
+                if active.size == 0:
+                    return 0
+                last = int(active[-1])
+                return v[last, int(np.minimum(m[last].argmax(), v.shape[1] - 1))]
             if masked:
-                shape = np.broadcast_shapes(value.shape, mask.shape)
                 picked = np.broadcast_to(value, shape)[np.broadcast_to(mask, shape)]
             else:
                 picked = value.ravel()
@@ -566,12 +842,13 @@ class _KernelExec:
         return table[expr.field_name]
 
     def _eval_index(self, expr: ast.Index, mask: Value) -> Value:
-        arr, idxs = self._index_arrays(expr, mask)
+        arr, prefix, idxs = self._index_arrays(expr, mask)
         name = expr.array_name or "<anon>"
-        idxs = self._validate_indices(name, arr, idxs, mask)
-        if all(not (isinstance(i, np.ndarray) and i.ndim) for i in idxs):
-            return arr[tuple(int(i) for i in idxs)]
-        return arr[tuple(np.asarray(i) for i in idxs)]
+        idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
+        full = list(prefix) + list(idxs)
+        if all(not (isinstance(i, np.ndarray) and i.ndim) for i in full):
+            return arr[tuple(int(i) for i in full)]
+        return arr[tuple(np.asarray(i) for i in full)]
 
     def _eval_call(self, expr: ast.Call, mask: Value) -> Value:
         args = [self._eval(a, mask) for a in expr.args]
@@ -610,15 +887,21 @@ class HostInterpreter:
         detect_races: bool = False,
         execute_kernels: bool = True,
         block_order: str = "forward",
+        block_exec: Optional[str] = None,
     ) -> None:
         """``block_order`` ('forward' | 'reverse') sets the sequential order
         in which per-block kernel execution visits thread blocks; running a
         program under both orders and comparing outputs exposes inter-block
-        races that a single deterministic order would mask."""
+        races that a single deterministic order would mask.
+
+        ``block_exec`` ('auto' | 'loop' | 'batched') selects the
+        shared-memory execution strategy; ``None`` defers to the
+        ``REPRO_BLOCK_EXEC`` environment variable (default 'auto')."""
         self.program = program
         self.detect_races = detect_races
         self.execute_kernels = execute_kernels
         self.block_order = block_order
+        self.block_exec = block_exec_from_env() if block_exec is None else block_exec
         self.env: Dict[str, Any] = {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.launches: List[LaunchRecord] = []
@@ -724,7 +1007,7 @@ class HostInterpreter:
             return
         executor = _KernelExec(
             kernel, grid, block, args, self.arrays, self.detect_races,
-            self.block_order,
+            self.block_order, self.block_exec,
         )
         try:
             executor.run()
@@ -807,10 +1090,14 @@ def run_program(
     program: ast.Program,
     detect_races: bool = False,
     block_order: str = "forward",
+    block_exec: Optional[str] = None,
 ) -> RunResult:
     """Execute ``program`` on the simulator and return final device arrays."""
     return HostInterpreter(
-        program, detect_races=detect_races, block_order=block_order
+        program,
+        detect_races=detect_races,
+        block_order=block_order,
+        block_exec=block_exec,
     ).run()
 
 

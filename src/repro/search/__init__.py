@@ -1,5 +1,15 @@
 """Optimization package: grouped GA with lazy fission (GGA)."""
 
+from .fitness_cache import (
+    CacheStats,
+    FitnessCache,
+    NullCache,
+    canonical_encoding,
+    content_key,
+    get_shared_cache,
+    individual_seed,
+    reset_shared_cache,
+)
 from .gga import GGA, GenerationStats, SearchResult, run_search
 from .grouping import (
     NOMINAL_BLOCK,
@@ -11,12 +21,19 @@ from .grouping import (
     singleton_grouping,
 )
 from .objective import (
+    evaluate_individual,
     get_objective,
     group_projection_time,
     group_volume,
     projected_gflops,
     projected_time_s,
     register_objective,
+)
+from .parallel import (
+    PopulationEvaluator,
+    evaluate_population_sequential,
+    executor_kind_from_env,
+    workers_from_env,
 )
 from .operators import (
     crossover,
@@ -38,9 +55,15 @@ __all__ = [
     "GGA", "run_search", "SearchResult", "GenerationStats",
     "projected_gflops", "projected_time_s", "group_volume",
     "group_projection_time", "register_objective", "get_objective",
+    "evaluate_individual",
     "GAParams", "default_params", "fast_params",
     "PenaltyParams", "penalized_fitness",
     "build_problem", "BuiltProblem", "CodegenBinding",
     "crossover", "mutate", "mutate_merge", "mutate_split", "mutate_move",
     "mutate_fission_toggle", "lazy_fission_repair", "random_grouping",
+    "FitnessCache", "NullCache", "CacheStats", "canonical_encoding",
+    "content_key", "individual_seed", "get_shared_cache",
+    "reset_shared_cache",
+    "PopulationEvaluator", "evaluate_population_sequential",
+    "workers_from_env", "executor_kind_from_env",
 ]

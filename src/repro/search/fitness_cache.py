@@ -1,0 +1,179 @@
+"""Content-addressed fitness memoization for the GGA search.
+
+The paper reports that fitness evaluation dominates GGA runtime (> 90%),
+and the search revisits the same partitions constantly: elitism copies
+individuals verbatim, tournament selection duplicates parents, mutation
+frequently produces a grouping the population has already seen, and
+restarted runs re-walk early generations.  This module gives every
+grouping a *content address* — a stable digest of its canonical partition
+encoding — so a fitness computed once is never recomputed, across
+generations, mutations, and GGA restarts sharing one process.
+
+The cache is a bounded, thread-safe LRU keyed on
+``(problem namespace, partition digest)``; the namespace is the owning
+problem's fingerprint so one process-wide cache can serve many search
+problems without collisions.
+
+Environment configuration (checked once per lookup-free construction):
+
+``REPRO_FITNESS_CACHE``
+    ``0`` / ``false`` / ``off`` disables memoization entirely.
+``REPRO_FITNESS_CACHE_SIZE``
+    Maximum number of retained entries (default 1_048_576).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .grouping import Grouping
+
+ENV_CACHE_ENABLED = "REPRO_FITNESS_CACHE"
+ENV_CACHE_SIZE = "REPRO_FITNESS_CACHE_SIZE"
+DEFAULT_MAX_ENTRIES = 1_048_576
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def cache_enabled_from_env(default: bool = True) -> bool:
+    """Whether memoization is allowed by the environment."""
+    raw = os.environ.get(ENV_CACHE_ENABLED)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def cache_size_from_env(default: int = DEFAULT_MAX_ENTRIES) -> int:
+    raw = os.environ.get(ENV_CACHE_SIZE)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def canonical_encoding(individual: Grouping) -> Tuple:
+    """Order-independent canonical form of a partition.
+
+    Two :class:`Grouping` objects describing the same partition (groups
+    listed in any order, members in any order) encode identically.
+    """
+    return (
+        tuple(sorted(individual.split)),
+        tuple(sorted(tuple(sorted(group)) for group in individual.groups)),
+    )
+
+
+def content_key(individual: Grouping, namespace: str = "") -> str:
+    """Content address of a grouping within ``namespace``."""
+    payload = repr((namespace, canonical_encoding(individual)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def individual_seed(individual: Grouping, base_seed: int = 0) -> int:
+    """A schedule-independent seed derived from the grouping's content.
+
+    Stochastic custom objectives can call this to draw reproducible
+    randomness that does not depend on worker count or evaluation order.
+    """
+    return (int(content_key(individual)[:16], 16) ^ base_seed) & 0x7FFFFFFF
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters of one :class:`FitnessCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class FitnessCache:
+    """Bounded thread-safe LRU mapping content keys to fitness results."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = max_entries or cache_size_from_env()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+class NullCache:
+    """Memoization disabled: every lookup misses, nothing is stored."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, key: str) -> Optional[Any]:
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        pass
+
+    def clear(self) -> None:
+        self.stats = CacheStats()
+
+
+_shared_cache: Optional[FitnessCache] = None
+_shared_lock = threading.Lock()
+
+
+def get_shared_cache() -> FitnessCache:
+    """The process-wide cache shared by GGA instances (restart survival)."""
+    global _shared_cache
+    with _shared_lock:
+        if _shared_cache is None:
+            _shared_cache = FitnessCache()
+        return _shared_cache
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide cache (tests / benchmarks)."""
+    global _shared_cache
+    with _shared_lock:
+        _shared_cache = None

@@ -10,16 +10,21 @@ generation of convergence (used for the filtering experiment, Fig. 8).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import SearchError
 from ..gpu.device import DeviceSpec
+from .fitness_cache import (
+    FitnessCache,
+    NullCache,
+    cache_enabled_from_env,
+    get_shared_cache,
+)
 from .grouping import (
     FusionProblem,
     Grouping,
     Violations,
-    evaluate_violations,
     singleton_grouping,
 )
 from .objective import get_objective, projected_time_s
@@ -30,8 +35,8 @@ from .operators import (
     mutate,
     random_grouping,
 )
+from .parallel import PopulationEvaluator
 from .params import GAParams
-from .penalty import penalized_fitness
 
 
 @dataclass
@@ -60,7 +65,16 @@ class SearchResult:
     converged_at: int
     #: average lazy fissions applied per generation
     avg_fissions_per_generation: float
+    #: objective evaluations actually executed (fitness-cache misses)
     evaluations: int
+    #: fitness lookups served from the content-addressed cache
+    cache_hits: int = 0
+    #: total fitness lookups this run (hits + misses)
+    fitness_lookups: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.fitness_lookups if self.fitness_lookups else 0.0
 
     @property
     def fused_group_count(self) -> int:
@@ -71,40 +85,65 @@ class SearchResult:
         return len(self.best.groups)
 
 
-def _individual_key(individual: Grouping) -> Tuple:
-    return (individual.split, frozenset(individual.groups))
-
-
 class GGA:
-    """Grouped genetic algorithm over a :class:`FusionProblem`."""
+    """Grouped genetic algorithm over a :class:`FusionProblem`.
+
+    Fitness evaluation goes through the search-throughput layer: a
+    content-addressed :class:`~repro.search.fitness_cache.FitnessCache`
+    (shared process-wide by default, so repeated groupings cost nothing
+    across generations, mutations, and restarts) and an optional
+    ``concurrent.futures`` population evaluator
+    (:class:`~repro.search.parallel.PopulationEvaluator`).
+    """
 
     def __init__(
         self,
         problem: FusionProblem,
         device: DeviceSpec,
         params: Optional[GAParams] = None,
+        cache: Optional[FitnessCache] = None,
     ) -> None:
         self.problem = problem
         self.device = device
         self.params = params or GAParams()
         self.objective = get_objective(self.params.objective)
         self.rng = random.Random(self.params.seed)
-        self._fitness_cache: Dict[Tuple, Tuple[float, Violations]] = {}
-        self.evaluations = 0
+        if cache is None:
+            if self.params.fitness_cache and cache_enabled_from_env():
+                cache = get_shared_cache()
+            else:
+                cache = NullCache()  # type: ignore[assignment]
+        self.cache = cache
+        # fitness depends on the problem, the device, the objective and the
+        # penalty constants — all of them enter the cache namespace
+        namespace = "|".join((
+            problem.fingerprint(),
+            device.name,
+            self.params.objective,
+            repr(self.params.penalties),
+        ))
+        self.evaluator = PopulationEvaluator(
+            problem,
+            device,
+            self.objective,
+            self.params.penalties,
+            objective_name=self.params.objective,
+            cache=cache,
+            namespace=namespace,
+            workers=None if self.params.workers == 0 else self.params.workers,
+            executor=self.params.executor,
+            base_seed=self.params.seed,
+        )
 
     # ------------------------------------------------------------------- eval
 
+    @property
+    def evaluations(self) -> int:
+        """Objective evaluations actually executed (cache misses)."""
+        return self.evaluator.evaluations
+
     def evaluate(self, individual: Grouping) -> Tuple[float, Violations]:
-        key = _individual_key(individual)
-        cached = self._fitness_cache.get(key)
-        if cached is not None:
-            return cached
-        raw = self.objective(self.problem, individual, self.device)
-        violations = evaluate_violations(self.problem, individual)
-        fitness = penalized_fitness(raw, violations, self.params.penalties)
-        self._fitness_cache[key] = (fitness, violations)
-        self.evaluations += 1
-        return fitness, violations
+        return self.evaluator.evaluate(individual)
 
     def _tournament(
         self, population: List[Grouping], fitnesses: List[float]
@@ -143,7 +182,7 @@ class GGA:
         generations_run = 0
         for generation in range(params.generations):
             generations_run = generation + 1
-            evaluated = [self.evaluate(ind) for ind in population]
+            evaluated = self.evaluator.evaluate_many(population)
             fitnesses = [f for f, _ in evaluated]
             improved = False
             feasible_count = 0
@@ -165,7 +204,12 @@ class GGA:
             next_pop: List[Grouping] = [
                 population[i] for i in ranked[: params.elitism]
             ]
-            while len(next_pop) < params.population:
+            # breed the full offspring batch first (sequential: consumes the
+            # rng stream), then evaluate it in one parallel, memoized sweep;
+            # lazy fission repairs fire on the offspring stuck at the
+            # shared-memory boundary
+            offspring: List[Grouping] = []
+            while len(next_pop) + len(offspring) < params.population:
                 parent_a = self._tournament(population, fitnesses)
                 if self.rng.random() < params.crossover_rate:
                     parent_b = self._tournament(population, fitnesses)
@@ -173,7 +217,9 @@ class GGA:
                 else:
                     child = parent_a
                 child = mutate(self.problem, child, self.rng, mutation_rates)
-                _, violations = self.evaluate(child)
+                offspring.append(child)
+            child_results = self.evaluator.evaluate_many(offspring)
+            for child, (_, violations) in zip(offspring, child_results):
                 if violations.smem_over > 0:
                     child, fissions = lazy_fission_repair(
                         self.problem, child, self.rng
@@ -214,6 +260,7 @@ class GGA:
                     converged_at = stats.generation
                     break
         total_fissions = sum(s.fissions for s in history)
+        self.evaluator.close()
         return SearchResult(
             best=best_feasible,
             best_fitness=best_feasible_fitness,
@@ -227,6 +274,8 @@ class GGA:
                 total_fissions / generations_run if generations_run else 0.0
             ),
             evaluations=self.evaluations,
+            cache_hits=self.evaluator.cache_hits,
+            fitness_lookups=self.evaluator.lookups,
         )
 
     def _repair_to_feasible(self, individual: Grouping) -> Grouping:

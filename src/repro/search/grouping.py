@@ -96,6 +96,39 @@ class FusionProblem:
         }
         self._whole_nodes = [n.node for n in nodes if n.parent is None]
         self._oeg_cache: Dict[FrozenSet[str], Tuple[nx.DiGraph, Dict[str, Set[str]]]] = {}
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Content digest of the whole problem (nodes, capacity, edges).
+
+        Used to namespace entries in a fitness cache shared across search
+        problems: two problems with identical node metadata hash alike and
+        may share fitness results; any difference separates them.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            parts: List[str] = [f"capacity={self.capacity}"]
+            for node in sorted(self.infos):
+                info = self.infos[node]
+                parts.append(
+                    repr((
+                        info.node, info.kernel, info.order, info.eligible,
+                        info.fusable, info.fissionable,
+                        tuple(sorted(info.arrays_read)),
+                        tuple(sorted(info.arrays_written)),
+                        tuple(sorted(info.points_per_array.items())),
+                        info.flops, info.flops_per_point,
+                        tuple(sorted(info.radius.items())),
+                        info.extents, info.grid, info.block,
+                        info.parent, info.fragments,
+                    ))
+                )
+            parts.append(repr(sorted(self.extra_precedence)))
+            parts.append(repr(sorted(map(sorted, self.user_conflicts))))
+            digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------ node universe
 
@@ -265,6 +298,12 @@ class FusionProblem:
                 if info.radius.get(array, 0) > 0:
                     known = producer_of.setdefault(array, writer)
                     if known != writer:
+                        return False
+                    # the tile stages the array's pre-kernel values once per
+                    # iteration; a second in-group writer (even an earlier,
+                    # fully-overwritten one) leaves guard-boundary cells of
+                    # the tile stale relative to the sequential program
+                    if all_writes.get(array, set()) - {writer}:
                         return False
                     depth[idx] = max(depth[idx], depth[writer] + 1)
                     if depth[idx] + 1 > max_waves:

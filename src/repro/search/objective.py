@@ -19,7 +19,14 @@ from ..analysis.volume import LaunchVolume
 from ..errors import SearchError
 from ..gpu.device import DeviceSpec
 from ..gpu.perfmodel import CodegenTraits, estimate_registers, project_kernel
-from .grouping import NOMINAL_BLOCK, FusionProblem, Grouping
+from .grouping import (
+    NOMINAL_BLOCK,
+    FusionProblem,
+    Grouping,
+    Violations,
+    evaluate_violations,
+)
+from .penalty import PenaltyParams, penalized_fitness
 
 ObjectiveFn = Callable[[FusionProblem, Grouping, DeviceSpec], float]
 
@@ -83,6 +90,8 @@ def group_projection_time(
     blocks = [problem.info(m).block for m in members]
     if blocks:
         block = max(set(blocks), key=blocks.count)
+    # dict get/setdefault are atomic under the GIL, so concurrent evaluator
+    # threads share this cache safely; a lost race costs one recomputation
     cache: Dict = problem.__dict__.setdefault("_group_time_cache", {})
     key = (frozenset(members), device.name, block)
     cached = cache.get(key)
@@ -156,6 +165,29 @@ def projected_time_s(
     return sum(
         group_projection_time(problem, group, device) for group in individual.groups
     )
+
+
+def clear_projection_caches(problem: FusionProblem) -> None:
+    """Drop the per-problem projection memo (tests / benchmarks)."""
+    problem.__dict__.pop("_group_time_cache", None)
+
+
+def evaluate_individual(
+    problem: FusionProblem,
+    individual: Grouping,
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> Tuple[float, Violations]:
+    """One full fitness evaluation: objective, violations, penalty.
+
+    This is the unit of work the search-throughput layer memoizes and
+    parallelizes — it is a pure function of its arguments, which is what
+    makes content-addressed caching and out-of-order workers safe.
+    """
+    raw = objective(problem, individual, device)
+    violations = evaluate_violations(problem, individual)
+    return penalized_fitness(raw, violations, penalties), violations
 
 
 register_objective("projected_gflops", projected_gflops)

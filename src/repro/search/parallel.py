@@ -1,0 +1,276 @@
+"""Parallel per-generation fitness evaluation for the GGA.
+
+The GGA evaluates a whole population per generation, and every evaluation
+is independent — an embarrassingly parallel batch.  This module fans the
+*uncached* members of a generation out over a ``concurrent.futures``
+executor while the content-addressed :mod:`fitness_cache` absorbs the
+repeats (elite copies, duplicate offspring, re-visited partitions).
+
+Determinism
+-----------
+Results are returned in submission order and keyed by content, so the
+outcome of a generation is independent of worker count and scheduling.
+Built-in objectives are pure functions; custom stochastic objectives
+should draw their randomness from
+:func:`repro.search.fitness_cache.individual_seed`, which derives a
+schedule-independent seed from the individual's content address and the
+GA seed.  In ``process`` mode the worker additionally seeds the global
+``random`` and ``numpy`` generators with that value before every
+evaluation.
+
+Environment configuration
+-------------------------
+``REPRO_SEARCH_WORKERS``
+    Worker count; ``0`` or ``1`` evaluates sequentially (default).
+``REPRO_SEARCH_EXECUTOR``
+    ``thread`` (default) or ``process``.  Process mode requires the
+    objective to be registered by name in every worker (built-ins are).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gpu.device import DeviceSpec
+from .fitness_cache import (
+    FitnessCache,
+    NullCache,
+    content_key,
+    individual_seed,
+)
+from .grouping import FusionProblem, Grouping, Violations
+from .objective import ObjectiveFn, evaluate_individual, get_objective
+from .penalty import PenaltyParams
+
+ENV_WORKERS = "REPRO_SEARCH_WORKERS"
+ENV_EXECUTOR = "REPRO_SEARCH_EXECUTOR"
+
+EvalResult = Tuple[float, Violations]
+
+
+def workers_from_env(default: int = 0) -> int:
+    raw = os.environ.get(ENV_WORKERS)
+    if raw is None:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+def executor_kind_from_env(default: str = "thread") -> str:
+    raw = os.environ.get(ENV_EXECUTOR, default).strip().lower()
+    return raw if raw in ("thread", "process") else default
+
+
+# ------------------------------------------------------- process-mode plumbing
+
+_worker_state: Dict[str, object] = {}
+
+
+def _init_process_worker(
+    problem: FusionProblem,
+    device: DeviceSpec,
+    objective_name: str,
+    penalties: PenaltyParams,
+    base_seed: int,
+) -> None:
+    _worker_state["problem"] = problem
+    _worker_state["device"] = device
+    _worker_state["objective"] = get_objective(objective_name)
+    _worker_state["penalties"] = penalties
+    _worker_state["base_seed"] = base_seed
+
+
+def _process_evaluate(individual: Grouping) -> EvalResult:
+    base_seed = int(_worker_state["base_seed"])  # type: ignore[arg-type]
+    seed = individual_seed(individual, base_seed)
+    random.seed(seed)
+    try:
+        import numpy as _np
+
+        _np.random.seed(seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return evaluate_individual(
+        _worker_state["problem"],  # type: ignore[arg-type]
+        individual,
+        _worker_state["device"],  # type: ignore[arg-type]
+        _worker_state["objective"],  # type: ignore[arg-type]
+        _worker_state["penalties"],  # type: ignore[arg-type]
+    )
+
+
+# ------------------------------------------------------------------ evaluator
+
+
+class PopulationEvaluator:
+    """Memoized, optionally parallel evaluation of GGA populations.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`FitnessCache` (possibly shared across GGA instances) or
+        ``None`` to disable memoization.
+    namespace:
+        Disambiguates content keys when one cache serves several search
+        problems; use the problem's fingerprint.
+    workers:
+        ``0`` / ``1`` evaluates in the calling thread.  ``None`` defers to
+        ``REPRO_SEARCH_WORKERS``.
+    executor:
+        ``"thread"`` or ``"process"``; ``None`` defers to
+        ``REPRO_SEARCH_EXECUTOR``.
+    """
+
+    def __init__(
+        self,
+        problem: FusionProblem,
+        device: DeviceSpec,
+        objective: ObjectiveFn,
+        penalties: PenaltyParams,
+        *,
+        objective_name: Optional[str] = None,
+        cache: Optional[FitnessCache] = None,
+        namespace: str = "",
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        base_seed: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.device = device
+        self.objective = objective
+        self.penalties = penalties
+        self.objective_name = objective_name
+        self.cache = cache if cache is not None else NullCache()
+        self.namespace = namespace
+        self.workers = workers_from_env(0) if workers is None else max(0, workers)
+        self.executor_kind = (
+            executor_kind_from_env() if executor is None else executor
+        )
+        self.base_seed = base_seed
+        self.evaluations = 0  # objective calls actually executed
+        self.lookups = 0  # individual fitness requests seen
+        #: requests answered without executing the objective — cache hits
+        #: plus within-batch duplicates served by the dedup pass
+        self.cache_hits = 0
+        self._executor: Optional[Executor] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.executor_kind == "process" and self.objective_name:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_process_worker,
+                    initargs=(
+                        self.problem,
+                        self.device,
+                        self.objective_name,
+                        self.penalties,
+                        self.base_seed,
+                    ),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="gga-eval",
+                )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "PopulationEvaluator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ evaluation
+
+    def _compute(self, individual: Grouping) -> EvalResult:
+        self.evaluations += 1
+        return evaluate_individual(
+            self.problem, individual, self.device, self.objective, self.penalties
+        )
+
+    def evaluate(self, individual: Grouping) -> EvalResult:
+        """Evaluate one individual through the cache (sequentially)."""
+        self.lookups += 1
+        key = content_key(individual, self.namespace)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self._compute(individual)
+        self.cache.put(key, result)
+        return result
+
+    def evaluate_many(self, individuals: Sequence[Grouping]) -> List[EvalResult]:
+        """Evaluate a population; results in input order.
+
+        Duplicate partitions within the batch are computed once; cached
+        partitions are not recomputed at all; the remaining unique
+        individuals fan out over the executor when ``workers > 1``.
+        """
+        keys = [content_key(ind, self.namespace) for ind in individuals]
+        self.lookups += len(keys)
+        results: Dict[str, EvalResult] = {}
+        pending: List[Tuple[str, Grouping]] = []
+        pending_keys: set = set()
+        for key, individual in zip(keys, individuals):
+            if key in results or key in pending_keys:
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append((key, individual))
+                pending_keys.add(key)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                executor = self._ensure_executor()
+                if isinstance(executor, ProcessPoolExecutor):
+                    self.evaluations += len(pending)
+                    chunksize = max(1, len(pending) // (self.workers * 4))
+                    computed = list(
+                        executor.map(
+                            _process_evaluate,
+                            [ind for _, ind in pending],
+                            chunksize=chunksize,
+                        )
+                    )
+                else:
+                    computed = list(
+                        executor.map(self._compute, [ind for _, ind in pending])
+                    )
+            else:
+                computed = [self._compute(ind) for _, ind in pending]
+            for (key, _), result in zip(pending, computed):
+                self.cache.put(key, result)
+                results[key] = result
+
+        self.cache_hits += len(keys) - len(pending)
+        return [results[key] for key in keys]
+
+
+def evaluate_population_sequential(
+    problem: FusionProblem,
+    individuals: Sequence[Grouping],
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> List[EvalResult]:
+    """Uncached, sequential reference evaluation (benchmark baseline)."""
+    return [
+        evaluate_individual(problem, individual, device, objective, penalties)
+        for individual in individuals
+    ]

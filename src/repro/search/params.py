@@ -37,6 +37,14 @@ class GAParams:
     #: stop early when the best fitness has not improved for this many
     #: generations (0 disables early stopping)
     stall_generations: int = 0
+    #: memoize fitness by partition content across generations and restarts
+    #: (the environment override REPRO_FITNESS_CACHE=0 wins over this)
+    fitness_cache: bool = True
+    #: parallel fitness workers per generation; 0 defers to the
+    #: REPRO_SEARCH_WORKERS environment variable, 1 forces sequential
+    workers: int = 0
+    #: 'thread' or 'process' (see repro.search.parallel)
+    executor: str = "thread"
     penalties: PenaltyParams = field(default_factory=PenaltyParams)
 
     def write(self, path: Union[str, Path]) -> None:

@@ -62,6 +62,9 @@ class BuiltProblem:
 
     problem: FusionProblem
     bindings: Dict[str, CodegenBinding]
+    #: content digest of the problem; namespaces shared fitness-cache
+    #: entries so results survive GGA restarts over the same program
+    fingerprint: str = ""
 
 
 def _node_info(
@@ -236,4 +239,8 @@ def build_problem(
         shared_mem_capacity=device.shared_mem_per_block,
         extra_precedence=extra_precedence,
     )
-    return BuiltProblem(problem=problem, bindings=bindings)
+    return BuiltProblem(
+        problem=problem,
+        bindings=bindings,
+        fingerprint=problem.fingerprint(),
+    )

@@ -436,6 +436,21 @@ def fuse_kernels(
             raise TransformError(
                 f"array {array!r} produced by two constituents in one fusion"
             )
+        # the tile stages the array's pre-kernel values once per iteration;
+        # any other in-group writer (even one the producer fully overwrites
+        # inside its guard) leaves the tile stale at guard-boundary cells,
+        # where the sequential program keeps that writer's value
+        other_writers = sorted(
+            other.name
+            for ci, other in enumerate(constituents)
+            if ci != producer and array in other.host_arrays_written()
+        )
+        if other_writers:
+            raise TransformError(
+                f"temporal-blocked array {array!r} is also written by "
+                f"{other_writers} inside the fusion: the staged tile cannot "
+                "observe those writes: infeasible"
+            )
         raw_arrays[array][1].append(consumer)
         halo_edges.append((producer, consumer, array))
         # the producer's extended compute re-evaluates its statements at

@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cudalite import parse_program
 from repro.gpu.device import K20X, K40, TESTING
+
+# Deterministic profile for CI: derandomized (fixed seed), a bounded
+# number of examples, and no per-example deadline (shared runners are
+# slow and flaky-deadline failures are noise). Select it by exporting
+# HYPOTHESIS_PROFILE=ci; the default profile is unchanged for local runs.
+settings.register_profile(
+    "ci", derandomize=True, max_examples=40, deadline=None
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 DIFFUSE_SRC = """

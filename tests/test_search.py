@@ -248,7 +248,9 @@ def test_search_finds_beneficial_fusion(problem3):
     baseline = projected_time_s(problem3, singleton_grouping(problem3), K20X)
     assert baseline / result.projected_time_s > 1.0
     assert result.generations_run <= 20
-    assert result.evaluations > 0
+    # the process-wide fitness cache may serve every lookup when an earlier
+    # test already explored this problem; work done = misses + hits
+    assert result.evaluations + result.cache_hits > 0
 
 
 def test_search_deterministic_for_seed(problem3):

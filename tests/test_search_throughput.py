@@ -1,0 +1,305 @@
+"""Fitness memoization and parallel population evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.filtering import identify_targets
+from repro.gpu.device import K20X
+from repro.gpu.profiler import gather_metadata
+from repro.search import (
+    build_problem,
+    GGA,
+    FitnessCache,
+    NullCache,
+    PopulationEvaluator,
+    canonical_encoding,
+    content_key,
+    evaluate_individual,
+    evaluate_population_sequential,
+    fast_params,
+    get_objective,
+    individual_seed,
+    random_grouping,
+    singleton_grouping,
+)
+from repro.search.fitness_cache import (
+    ENV_CACHE_ENABLED,
+    ENV_CACHE_SIZE,
+    cache_enabled_from_env,
+    cache_size_from_env,
+    get_shared_cache,
+    reset_shared_cache,
+)
+from repro.search.grouping import Grouping
+from repro.search.parallel import (
+    ENV_EXECUTOR,
+    ENV_WORKERS,
+    executor_kind_from_env,
+    workers_from_env,
+)
+from repro.search.penalty import PenaltyParams
+
+
+@pytest.fixture(autouse=True)
+def fresh_shared_cache():
+    reset_shared_cache()
+    yield
+    reset_shared_cache()
+
+
+@pytest.fixture
+def problem3(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    report = identify_targets(meta, K20X)
+    return build_problem(three_kernel_program, meta, report, K20X).problem
+
+
+def _population(problem, count, seed=7):
+    import random
+
+    rng = random.Random(seed)
+    pop = [singleton_grouping(problem)]
+    while len(pop) < count:
+        pop.append(random_grouping(problem, rng))
+    return pop
+
+
+# ----------------------------------------------------------- content keys
+
+
+def test_canonical_encoding_ignores_group_order(problem3):
+    names = sorted(problem3.whole_nodes())
+    a = Grouping(
+        split=frozenset(),
+        groups=(frozenset({names[0], names[1]}), frozenset({names[2]})),
+    )
+    b = Grouping(
+        split=frozenset(),
+        groups=(frozenset({names[2]}), frozenset({names[1], names[0]})),
+    )
+    assert canonical_encoding(a) == canonical_encoding(b)
+    assert content_key(a, "ns") == content_key(b, "ns")
+
+
+def test_content_key_separates_namespaces(problem3):
+    ind = singleton_grouping(problem3)
+    assert content_key(ind, "device-a") != content_key(ind, "device-b")
+
+
+def test_individual_seed_schedule_independent(problem3):
+    ind = singleton_grouping(problem3)
+    assert individual_seed(ind, 42) == individual_seed(ind, 42)
+    assert individual_seed(ind, 42) != individual_seed(ind, 43)
+    assert 0 <= individual_seed(ind, 42) < 2**31
+
+
+def test_problem_fingerprint_stable(problem3):
+    assert problem3.fingerprint() == problem3.fingerprint()
+    assert len(problem3.fingerprint()) == 64
+
+
+# ------------------------------------------------------------------ cache
+
+
+def test_cache_roundtrip_and_stats():
+    cache = FitnessCache(max_entries=128)
+    assert cache.get("k1") is None
+    cache.put("k1", (1.0, None))
+    assert cache.get("k1") == (1.0, None)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_cache_lru_eviction():
+    cache = FitnessCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh 'a'
+    cache.put("c", 3)  # evicts 'b', the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats.evictions == 1
+
+
+def test_null_cache_never_stores():
+    cache = NullCache()
+    cache.put("k", 1)
+    assert cache.get("k") is None
+    assert len(cache) == 0
+
+
+def test_shared_cache_is_process_wide():
+    assert get_shared_cache() is get_shared_cache()
+    get_shared_cache().put("x", 1)
+    reset_shared_cache()
+    assert get_shared_cache().get("x") is None
+
+
+def test_cache_env_vars(monkeypatch):
+    monkeypatch.delenv(ENV_CACHE_ENABLED, raising=False)
+    assert cache_enabled_from_env() is True
+    for off in ("0", "false", "OFF", "no"):
+        monkeypatch.setenv(ENV_CACHE_ENABLED, off)
+        assert cache_enabled_from_env() is False
+    monkeypatch.setenv(ENV_CACHE_ENABLED, "1")
+    assert cache_enabled_from_env() is True
+    monkeypatch.setenv(ENV_CACHE_SIZE, "123")
+    assert cache_size_from_env() == 123
+    monkeypatch.setenv(ENV_CACHE_SIZE, "junk")
+    assert cache_size_from_env() == 1_048_576
+
+
+def test_parallel_env_vars(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "4")
+    assert workers_from_env() == 4
+    monkeypatch.setenv(ENV_WORKERS, "-2")
+    assert workers_from_env() == 0
+    monkeypatch.setenv(ENV_WORKERS, "junk")
+    assert workers_from_env() == 0
+    monkeypatch.setenv(ENV_EXECUTOR, "process")
+    assert executor_kind_from_env() == "process"
+    monkeypatch.setenv(ENV_EXECUTOR, "fibers")
+    assert executor_kind_from_env() == "thread"
+
+
+# -------------------------------------------------------------- evaluator
+
+
+def _evaluator(problem, cache=None, **kw):
+    return PopulationEvaluator(
+        problem,
+        K20X,
+        get_objective("projected_gflops"),
+        PenaltyParams(),
+        objective_name="projected_gflops",
+        cache=cache,
+        namespace=problem.fingerprint(),
+        **kw,
+    )
+
+
+def test_evaluator_matches_sequential_reference(problem3):
+    pop = _population(problem3, 12)
+    reference = evaluate_population_sequential(
+        problem3, pop, K20X, get_objective("projected_gflops"), PenaltyParams()
+    )
+    with _evaluator(problem3, cache=FitnessCache()) as ev:
+        results = ev.evaluate_many(pop)
+    assert results == reference
+
+
+def test_evaluator_dedups_within_batch(problem3):
+    ind = singleton_grouping(problem3)
+    with _evaluator(problem3, cache=FitnessCache()) as ev:
+        results = ev.evaluate_many([ind] * 10)
+        assert ev.evaluations == 1
+        assert ev.cache_hits == 9
+        assert len(set(map(repr, results))) == 1
+
+
+def test_evaluator_cache_survives_batches(problem3):
+    pop = _population(problem3, 8)
+    cache = FitnessCache()
+    with _evaluator(problem3, cache=cache) as ev:
+        first = ev.evaluate_many(pop)
+        executed = ev.evaluations
+        second = ev.evaluate_many(pop)
+        assert second == first
+        assert ev.evaluations == executed  # nothing recomputed
+
+
+def test_evaluator_parallel_threads_deterministic(problem3):
+    pop = _population(problem3, 16)
+    with _evaluator(problem3, cache=NullCache(), workers=1) as seq:
+        sequential = seq.evaluate_many(pop)
+    with _evaluator(problem3, cache=NullCache(), workers=4) as par:
+        parallel = par.evaluate_many(pop)
+    assert parallel == sequential
+
+
+def test_evaluate_single_goes_through_cache(problem3):
+    ind = singleton_grouping(problem3)
+    with _evaluator(problem3, cache=FitnessCache()) as ev:
+        a = ev.evaluate(ind)
+        b = ev.evaluate(ind)
+        assert a == b
+        assert ev.evaluations == 1
+        assert ev.cache_hits == 1
+
+
+# ------------------------------------------------------------------- GGA
+
+
+def test_gga_restart_served_from_shared_cache(problem3):
+    params = fast_params(seed=5)
+    params.population = 12
+    params.generations = 6
+    first = GGA(problem3, K20X, params).run()
+    assert first.evaluations > 0
+    second = GGA(problem3, K20X, params).run()
+    assert second.evaluations == 0  # every lookup hits the shared cache
+    assert second.cache_hit_rate == 1.0
+    assert second.best == first.best
+    assert second.best_fitness == first.best_fitness
+
+
+def test_gga_cache_disabled_still_correct(problem3):
+    params = fast_params(seed=5)
+    params.population = 12
+    params.generations = 6
+    params.fitness_cache = False
+    cached = GGA(problem3, K20X, fast_params(seed=5)).run()
+    uncached = GGA(problem3, K20X, params).run()
+    assert isinstance(GGA(problem3, K20X, params).cache, NullCache)
+    assert uncached.best_fitness == cached.best_fitness
+
+
+def test_gga_parallel_workers_same_trajectory(problem3):
+    base = fast_params(seed=17)
+    base.population = 12
+    base.generations = 6
+    a = GGA(problem3, K20X, base).run()
+    reset_shared_cache()
+    par = fast_params(seed=17)
+    par.population = 12
+    par.generations = 6
+    par.workers = 4
+    b = GGA(problem3, K20X, par).run()
+    assert b.best == a.best
+    assert b.best_fitness == a.best_fitness
+    assert [s.best_fitness for s in b.history] == [
+        s.best_fitness for s in a.history
+    ]
+
+
+def test_gga_env_cache_kill_switch(problem3, monkeypatch):
+    monkeypatch.setenv(ENV_CACHE_ENABLED, "0")
+    params = fast_params(seed=5)
+    params.population = 8
+    params.generations = 4
+    gga = GGA(problem3, K20X, params)
+    assert isinstance(gga.cache, NullCache)
+    gga.evaluator.close()
+
+
+def test_search_result_reports_hit_rate(problem3):
+    params = fast_params(seed=5)
+    params.population = 12
+    params.generations = 6
+    result = GGA(problem3, K20X, params).run()
+    assert result.fitness_lookups == result.evaluations + result.cache_hits
+    assert 0.0 < result.cache_hit_rate <= 1.0
+
+
+def test_evaluate_individual_direct(problem3):
+    fitness, violations = evaluate_individual(
+        problem3,
+        singleton_grouping(problem3),
+        K20X,
+        get_objective("projected_gflops"),
+        PenaltyParams(),
+    )
+    assert np.isfinite(fitness)
+    assert violations.feasible
