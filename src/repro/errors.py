@@ -5,13 +5,25 @@ callers embedding the transformation pipeline can catch a single base class.
 The hierarchy mirrors the pipeline stages: language-processing errors
 (lexing/parsing/semantics), analysis errors, graph errors, search errors and
 code-generation errors.
+
+Errors that surface from inside a pipeline stage carry the stage name on
+their ``stage`` attribute (set by the framework when the stage raises), so
+front ends can point at the failing stage without parsing messages.
+Interpreter errors additionally carry structured location fields (kernel,
+array, axis, block/thread coordinates) so verification-gate failures are
+actionable.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro framework."""
+
+    #: pipeline stage that raised the error (filled in by the framework)
+    stage: Optional[str] = None
 
 
 class CudaLiteError(ReproError):
@@ -45,11 +57,43 @@ class SemanticError(CudaLiteError):
 
 
 class InterpreterError(ReproError):
-    """Runtime failure while executing a CudaLite program on the simulator."""
+    """Runtime failure while executing a CudaLite program on the simulator.
+
+    ``kernel`` names the kernel being executed when the failure occurred
+    (``None`` for host-side failures).
+    """
+
+    def __init__(self, message: str, *, kernel: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.kernel = kernel
 
 
 class OutOfBoundsError(InterpreterError):
-    """An active thread accessed an array outside its bounds."""
+    """An active thread accessed an array outside its bounds.
+
+    Structured fields locate the failure: the offending ``array``, the
+    ``axis`` and ``index`` of the bad access, and the ``block`` / ``thread``
+    coordinates of the first offending thread (``None`` when the executing
+    mode cannot attribute the access to a single thread).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        array: Optional[str] = None,
+        axis: Optional[int] = None,
+        index: Optional[int] = None,
+        block: Optional[Tuple[int, int, int]] = None,
+        thread: Optional[Tuple[int, int, int]] = None,
+    ) -> None:
+        super().__init__(message, kernel=kernel)
+        self.array = array
+        self.axis = axis
+        self.index = index
+        self.block = block
+        self.thread = thread
 
 
 class AnalysisError(ReproError):
@@ -66,6 +110,16 @@ class SearchError(ReproError):
 
 class TransformError(ReproError):
     """Code generation (fission/fusion) failed."""
+
+
+class VerificationError(ReproError):
+    """A generated kernel failed the semantic verification gate: its output
+    does not match the unfused constituents it replaces."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection harness itself was misconfigured (unknown seam,
+    malformed spec) — distinct from the faults it injects."""
 
 
 class PipelineError(ReproError):

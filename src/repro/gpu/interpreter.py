@@ -603,20 +603,112 @@ class _KernelExec:
                 if masked:
                     bad = np.logical_and(bad, mask)
                 if np.any(bad):
+                    block, thread, value = self._locate_oob(bad, idx)
+                    where = (
+                        f" at block {block} thread {thread}"
+                        if block is not None
+                        else ""
+                    )
+                    shown = f"index {value} " if value is not None else "index "
                     raise OutOfBoundsError(
-                        f"array {name!r} axis {axis}: active thread index out of "
-                        f"[0, {extent}) during kernel {self.kernel.name!r}"
+                        f"array {name!r} axis {axis}: active thread {shown}out "
+                        f"of [0, {extent}) during kernel "
+                        f"{self.kernel.name!r}{where}",
+                        kernel=self.kernel.name,
+                        array=name,
+                        axis=axis,
+                        index=value,
+                        block=block,
+                        thread=thread,
                     )
                 safe.append(np.clip(idx, 0, extent - 1))
             else:
                 value = int(idx)
                 if value < 0 or value >= extent:
+                    block, thread = self._current_block_thread()
+                    where = (
+                        f" at block {block}" if block is not None else ""
+                    )
                     raise OutOfBoundsError(
                         f"array {name!r} axis {axis}: index {value} out of "
-                        f"[0, {extent}) during kernel {self.kernel.name!r}"
+                        f"[0, {extent}) during kernel "
+                        f"{self.kernel.name!r}{where}",
+                        kernel=self.kernel.name,
+                        array=name,
+                        axis=axis,
+                        index=value,
+                        block=block,
+                        thread=thread,
                     )
                 safe.append(value)
         return safe
+
+    def _current_block_thread(
+        self,
+    ) -> Tuple[Optional[Tuple[int, int, int]], Optional[Tuple[int, int, int]]]:
+        """Block coordinates for a thread-invariant failure (loop mode only:
+        the vectorized and batched lattices span every block at once)."""
+        bx = self.bidx.get("x")
+        if isinstance(bx, (int, np.integer)):
+            return (
+                (int(bx), int(self.bidx["y"]), int(self.bidx["z"])),  # type: ignore[arg-type]
+                None,
+            )
+        return None, None
+
+    def _locate_oob(
+        self, bad: Value, idx: Value
+    ) -> Tuple[
+        Optional[Tuple[int, int, int]],
+        Optional[Tuple[int, int, int]],
+        Optional[int],
+    ]:
+        """Locate the first offending thread of an out-of-bounds access.
+
+        Returns ``(block, thread, index)`` in launch coordinates, or
+        ``None`` components when the executing mode cannot attribute the
+        access (location is best-effort diagnostics; it must never mask
+        the underlying error).
+        """
+        try:
+            shape = self.lattice_shape
+            bad_arr = np.broadcast_to(np.asarray(bad), shape)
+            flat = int(np.argmax(bad_arr))
+            if not bool(bad_arr.flat[flat]):
+                return None, None, None
+            value = int(np.broadcast_to(np.asarray(idx), shape).flat[flat])
+            coords = tuple(int(c) for c in np.unravel_index(flat, shape))
+            if self._block_axis is not None and len(coords) == 4:
+                nb, tx, ty, tz = coords
+                block = (
+                    int(np.asarray(self.bidx["x"]).reshape(-1)[nb]),
+                    int(np.asarray(self.bidx["y"]).reshape(-1)[nb]),
+                    int(np.asarray(self.bidx["z"]).reshape(-1)[nb]),
+                )
+                return block, (tx, ty, tz), value
+            if len(coords) == 3:
+                cx, cy, cz = coords
+                if isinstance(self.bidx.get("x"), np.ndarray):
+                    # vectorized: lattice coordinates are global threads
+                    bx, by, bz = self.block.as_tuple()
+                    return (
+                        (cx // bx, cy // by, cz // bz),
+                        (cx % bx, cy % by, cz % bz),
+                        value,
+                    )
+                # per-block loop: the lattice is one block's threads
+                return (
+                    (
+                        int(self.bidx["x"]),  # type: ignore[arg-type]
+                        int(self.bidx["y"]),  # type: ignore[arg-type]
+                        int(self.bidx["z"]),  # type: ignore[arg-type]
+                    ),
+                    (cx, cy, cz),
+                    value,
+                )
+            return None, None, value
+        except Exception:  # pragma: no cover - diagnostics must not raise
+            return None, None, None
 
     def _store_array(self, target: ast.Index, value: Value, mask: Value) -> None:
         arr, prefix, idxs = self._index_arrays(target, mask)
@@ -1084,6 +1176,39 @@ class HostInterpreter:
                 self._eval(expr.args[0]), self._eval(expr.args[1])
             )
         raise InterpreterError(f"unknown host function {func!r}")
+
+
+def launch_kernel(
+    kernel: ast.KernelDef,
+    grid: Dim3,
+    block: Dim3,
+    args: List[Value],
+    *,
+    detect_races: bool = False,
+    block_order: str = "forward",
+    block_exec: Optional[str] = None,
+) -> None:
+    """Execute a single kernel launch against caller-provided arguments.
+
+    Device arrays are passed (and mutated) in place as numpy arrays in
+    ``args``, in kernel-parameter order.  This is the entry point for the
+    per-group verification gate, which replays individual kernels outside
+    any host program.
+    """
+    executor = _KernelExec(
+        kernel,
+        grid,
+        block,
+        list(args),
+        {},
+        detect_races,
+        block_order,
+        block_exec_from_env() if block_exec is None else block_exec,
+    )
+    try:
+        executor.run()
+    except _ReturnSignal:
+        pass
 
 
 def run_program(

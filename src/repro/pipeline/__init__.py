@@ -1,5 +1,7 @@
 """End-to-end transformation pipeline: stages, framework, CLI."""
 
+from ..reliability.degrade import DemotionRecord
+from ..reliability.verify import GroupVerdict, VerifyConfig
 from .apply import (
     GeneratedLaunch,
     TransformResult,
@@ -26,4 +28,5 @@ __all__ = [
     "stage_search", "stage_codegen",
     "materialize", "TransformResult", "GeneratedLaunch",
     "project_baseline", "project_transformed",
+    "DemotionRecord", "GroupVerdict", "VerifyConfig",
 ]

@@ -7,22 +7,28 @@ Materializes a :class:`~repro.search.grouping.Grouping` chosen by the GGA:
 * larger groups are fused (`simple` or `complex` depending on internal
   precedence), with thread-block tuning (§4.2) re-generating the kernel at
   the occupancy-optimal block shape;
+* every fused kernel passes the per-group semantic verification gate
+  (:mod:`repro.reliability.verify`) before it is committed;
 * the host code is rewritten to invoke the new kernels in an order
   compatible with the new OEG.
 
-If the code generator cannot realize a fusion the group degrades gracefully
-to per-member launches — the transformed program is always valid.
+A group the code generator cannot realize — or whose generated kernel
+fails verification — degrades down the fusion ladder (complex → per-wave
+simple fusion → per-member launches) instead of failing the pipeline;
+every demotion is recorded with its cause.  The transformed program is
+always valid.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from ..cudalite import ast_nodes as ast
-from ..errors import TransformError
+from ..errors import ReproError, TransformError, VerificationError
 from ..gpu.device import DeviceSpec
 from ..gpu.perfmodel import (
     CodegenTraits,
@@ -32,6 +38,9 @@ from ..gpu.perfmodel import (
     project_kernel,
 )
 from ..analysis.volume import estimate_volume
+from ..reliability import faults
+from ..reliability.degrade import DemotionRecord, fusion_waves
+from ..reliability.verify import GroupVerdict, VerifyConfig, verify_group
 from ..search.grouping import FusionProblem, Grouping
 from ..search.problem_builder import CodegenBinding
 from ..transform.blocksize import TuningDecision, tune_kernel_block
@@ -43,6 +52,8 @@ from ..transform.fusion import (
 )
 from ..transform.fusion import fuse_kernels
 from ..transform.hostcode import NewLaunch, assemble_program
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -66,6 +77,10 @@ class TransformResult:
     tuning: List[TuningDecision]
     #: groups the code generator had to degrade to per-member launches
     degraded_groups: List[Tuple[str, ...]] = field(default_factory=list)
+    #: every slide down the fusion ladder, with its cause
+    demotions: List[DemotionRecord] = field(default_factory=list)
+    #: per-group verification-gate verdicts for the committed kernels
+    group_verdicts: List[GroupVerdict] = field(default_factory=list)
 
     @property
     def new_kernel_count(self) -> int:
@@ -150,21 +165,34 @@ def materialize(
     options: Optional[FusionOptions] = None,
     tune_blocks: bool = True,
     initial_block: Optional[Tuple[int, int, int]] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> TransformResult:
     """Generate the transformed program for ``grouping``.
 
     ``initial_block`` defaults to the constituents' own launch block (the
     fused kernel inherits the original configuration; §4.2's tuner then
     improves it), matching how the paper reports occupancy before/after.
+
+    ``verify_config`` parameterizes the per-group verification gate
+    (``None`` resolves it from ``REPRO_VERIFY_*``).  A group that fails
+    codegen or verification is demoted down the fusion ladder — complex
+    fusion → per-wave simple fusion → per-member launches — and each
+    demotion is recorded in :attr:`TransformResult.demotions`.
     """
     options = options or FusionOptions()
+    verify_cfg = verify_config or VerifyConfig.from_env()
     schedule = _schedule_groups(problem, grouping)
 
     new_kernels: Dict[str, ast.KernelDef] = {}
     launches: List[GeneratedLaunch] = []
     tuning: List[TuningDecision] = []
     degraded: List[Tuple[str, ...]] = []
+    demotions: List[DemotionRecord] = []
+    verdicts: List[GroupVerdict] = []
     fused_counter = 0
+
+    group_options = FusionOptions(**{**options.__dict__})
+    group_options.smem_limit = device.shared_mem_per_block
 
     def singleton_launch(node: str) -> None:
         binding = bindings[node]
@@ -183,37 +211,44 @@ def materialize(
 
     _launch_args: Dict[int, Tuple[ast.Expr, ...]] = {}
 
-    for group in schedule:
-        ordered = sorted(group, key=lambda n: problem.info(n).order)
-        if len(ordered) == 1:
-            singleton_launch(ordered[0])
-            continue
-        name = f"K_{fused_counter:02d}"
-        precedence = _internal_raw_edges(problem, ordered)
-        constituents = [_constituent(bindings[n]) for n in ordered]
-        group_options = FusionOptions(**{**options.__dict__})
-        group_options.smem_limit = device.shared_mem_per_block
-        if initial_block is None:
-            blocks = [bindings[n].block for n in ordered]
-            start_block = max(set(blocks), key=blocks.count)
-        else:
-            start_block = initial_block
-        try:
-            fused = fuse_kernels(
-                name,
-                constituents,
-                start_block,
-                array_shapes,
-                precedence=precedence,
-                options=group_options,
-            )
-        except TransformError:
-            degraded.append(tuple(ordered))
-            for node in ordered:
-                singleton_launch(node)
-            continue
-        fused_counter += 1
+    def pick_block(members: Sequence[str]) -> Tuple[int, int, int]:
+        if initial_block is not None:
+            return initial_block
+        blocks = [bindings[n].block for n in members]
+        return max(set(blocks), key=blocks.count)
 
+    def written_arrays(members: Sequence[str]) -> List[str]:
+        out: Set[str] = set()
+        for node in members:
+            out |= set(problem.info(node).arrays_written)
+        return sorted(out)
+
+    def build_verified(
+        name: str,
+        members: Sequence[str],
+        precedence: Sequence[Tuple[int, int, str]],
+    ) -> Tuple[FusedKernel, Optional[TuningDecision], GroupVerdict]:
+        """Fuse ``members``, tune the block, verify the result.
+
+        Raises a :class:`ReproError` (codegen, parse, verification) when
+        the group cannot be realized at this ladder level — the caller
+        demotes it.
+        """
+        for node in members:
+            faults.check("parse", f"re-parsing constituent {node}")
+        constituents = [_constituent(bindings[n]) for n in members]
+        start_block = pick_block(members)
+        faults.check("codegen", f"fusing group {name}")
+        fused = fuse_kernels(
+            name,
+            constituents,
+            start_block,
+            array_shapes,
+            precedence=precedence,
+            options=group_options,
+        )
+        decision: Optional[TuningDecision] = None
+        tuned: Optional[FusedKernel] = None
         if tune_blocks:
             decision = tune_kernel_block(
                 device,
@@ -221,12 +256,14 @@ def materialize(
                 fused.block,
                 fused.traits.smem_per_block,
                 fused.traits.regs_per_thread,
-                dims=2 if fused.block[1] > 1 or initial_block[1] > 1 else 1,
+                dims=2
+                if fused.block[1] > 1
+                or (initial_block is not None and initial_block[1] > 1)
+                else 1,
             )
-            tuning.append(decision)
             if decision.changed:
                 try:
-                    fused = fuse_kernels(
+                    tuned = fuse_kernels(
                         name,
                         constituents,
                         decision.tuned_block,
@@ -235,8 +272,52 @@ def materialize(
                         options=group_options,
                     )
                 except TransformError:
-                    pass  # keep the untuned kernel
+                    tuned = None  # keep the untuned kernel
 
+        member_bindings = [bindings[n] for n in members]
+        compare = written_arrays(members)
+        candidate = tuned if tuned is not None else fused
+        verdict = verify_group(
+            candidate, member_bindings, array_shapes, compare, verify_cfg
+        )
+        if verdict.failed and tuned is not None:
+            # the tuned regeneration broke the kernel; fall back to the
+            # verified-able untuned block and drop the tuning decision
+            untuned_verdict = verify_group(
+                fused, member_bindings, array_shapes, compare, verify_cfg
+            )
+            if not untuned_verdict.failed:
+                logger.warning(
+                    "tuned kernel %s failed verification (%s); "
+                    "keeping original block %s",
+                    name,
+                    verdict.cause,
+                    fused.block,
+                )
+                return fused, None, untuned_verdict
+            verdict = untuned_verdict
+        if verdict.failed:
+            raise VerificationError(f"kernel {name}: {verdict.cause}")
+        if verdict.status == "inconclusive":
+            logger.info(
+                "verification inconclusive for %s (%s); keeping fusion",
+                name,
+                verdict.cause,
+            )
+        return candidate, decision, verdict
+
+    def commit(
+        name: str,
+        members: Sequence[str],
+        fused: FusedKernel,
+        decision: Optional[TuningDecision],
+        verdict: GroupVerdict,
+    ) -> None:
+        nonlocal fused_counter
+        fused_counter += 1
+        if decision is not None:
+            tuning.append(decision)
+        verdicts.append(verdict)
         new_kernels[name] = fused.kernel
         args = tuple(ast.Ident(a) for a in fused.pointer_args) + fused.scalar_args
         launches.append(
@@ -244,11 +325,88 @@ def materialize(
                 kernel_name=name,
                 grid=fused.grid,
                 block=fused.block,
-                members=tuple(ordered),
+                members=tuple(members),
                 fused=fused,
             )
         )
         _launch_args[id(launches[-1])] = args
+
+    def realize_waves(
+        ordered: Sequence[str],
+        precedence: Sequence[Tuple[int, int, str]],
+        cause: str,
+    ) -> None:
+        """Middle ladder rung: split a failed complex group into its
+        precedence waves and simple-fuse each multi-member wave.  Waves
+        launch in depth order, so the inter-launch barrier carries every
+        dependence an edge expressed inside the fused kernel."""
+        waves = fusion_waves(
+            len(ordered), [(p, c) for p, c, _ in precedence]
+        )
+        if not any(len(wave) > 1 for wave in waves):
+            demotions.append(
+                DemotionRecord(tuple(ordered), "complex", "none", cause)
+            )
+            degraded.append(tuple(ordered))
+            for node in ordered:
+                singleton_launch(node)
+            return
+        demotions.append(
+            DemotionRecord(tuple(ordered), "complex", "simple", cause)
+        )
+        any_fused = False
+        for wave in waves:
+            wave_nodes = [ordered[i] for i in wave]
+            if len(wave_nodes) == 1:
+                singleton_launch(wave_nodes[0])
+                continue
+            wave_name = f"K_{fused_counter:02d}"
+            try:
+                fused, decision, verdict = build_verified(
+                    wave_name, wave_nodes, precedence=[]
+                )
+            except ReproError as exc:
+                logger.warning(
+                    "simple fusion of wave %s failed (%s); "
+                    "demoting to per-member launches",
+                    wave_nodes,
+                    exc,
+                )
+                demotions.append(
+                    DemotionRecord(tuple(wave_nodes), "simple", "none", str(exc))
+                )
+                for node in wave_nodes:
+                    singleton_launch(node)
+                continue
+            any_fused = True
+            commit(wave_name, wave_nodes, fused, decision, verdict)
+        if not any_fused:
+            degraded.append(tuple(ordered))
+
+    for group in schedule:
+        ordered = sorted(group, key=lambda n: problem.info(n).order)
+        if len(ordered) == 1:
+            singleton_launch(ordered[0])
+            continue
+        name = f"K_{fused_counter:02d}"
+        precedence = _internal_raw_edges(problem, ordered)
+        try:
+            fused, decision, verdict = build_verified(name, ordered, precedence)
+        except ReproError as exc:
+            logger.warning(
+                "group %s failed at full fusion (%s); demoting", ordered, exc
+            )
+            if precedence:
+                realize_waves(ordered, precedence, str(exc))
+            else:
+                demotions.append(
+                    DemotionRecord(tuple(ordered), "simple", "none", str(exc))
+                )
+                degraded.append(tuple(ordered))
+                for node in ordered:
+                    singleton_launch(node)
+            continue
+        commit(name, ordered, fused, decision, verdict)
 
     new_launch_stmts = [
         NewLaunch(
@@ -267,6 +425,8 @@ def materialize(
         launches=launches,
         tuning=tuning,
         degraded_groups=degraded,
+        demotions=demotions,
+        group_verdicts=verdicts,
     )
 
 

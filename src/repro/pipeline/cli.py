@@ -8,11 +8,13 @@ stage reports, DOT files and the generated program in a working directory.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
 from ..cudalite.parser import parse_program
 from ..cudalite.unparser import unparse
+from ..errors import ReproError
 from ..gpu.device import available_devices, query_device
 from ..search.params import GAParams, fast_params
 from .framework import Framework
@@ -74,6 +76,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="skip output verification on the simulator",
     )
     parser.add_argument(
+        "--no-group-verify",
+        action="store_true",
+        help="skip the per-group semantic verification gate during codegen",
+    )
+    parser.add_argument(
+        "--fail-hard",
+        action="store_true",
+        help=(
+            "abort on search/verification failures instead of degrading "
+            "gracefully to the identity transformation"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="logging verbosity for pipeline diagnostics",
+    )
+    parser.add_argument(
         "--seed", type=int, default=12345, help="GA random seed"
     )
     return parser
@@ -81,27 +102,42 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_arg_parser().parse_args(argv)
-    source = Path(args.source).read_text()
-    program = parse_program(source)
-
-    if args.ga_params:
-        params = GAParams.read(args.ga_params)
-    else:
-        params = fast_params(seed=args.seed)
-
-    config = PipelineConfig(
-        device=query_device(args.device),
-        mode=args.mode,
-        ga_params=params,
-        manual_exclusions=tuple(args.exclude),
-        disable_filtering=args.no_filter,
-        enable_fission=not args.no_fission,
-        tune_blocks=not args.no_tuning,
-        verify=not args.no_verify,
-        workdir=args.workdir,
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
     )
-    framework = Framework(program, config)
-    state = framework.run(until=args.until)
+    try:
+        source = Path(args.source).read_text()
+        program = parse_program(source)
+
+        if args.ga_params:
+            params = GAParams.read(args.ga_params)
+        else:
+            params = fast_params(seed=args.seed)
+
+        config = PipelineConfig(
+            device=query_device(args.device),
+            mode=args.mode,
+            ga_params=params,
+            manual_exclusions=tuple(args.exclude),
+            disable_filtering=args.no_filter,
+            enable_fission=not args.no_fission,
+            tune_blocks=not args.no_tuning,
+            verify=not args.no_verify,
+            verify_groups=not args.no_group_verify,
+            fail_soft=not args.fail_hard,
+            workdir=args.workdir,
+        )
+        framework = Framework(program, config)
+        state = framework.run(until=args.until)
+    except ReproError as exc:
+        # expected failure modes get a one-line diagnostic, not a traceback
+        stage = f" [stage: {exc.stage}]" if exc.stage else ""
+        print(
+            f"repro-transform: {type(exc).__name__}{stage}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     print(framework.report())
 
     if args.until in (None, "codegen") and state.transform is not None:

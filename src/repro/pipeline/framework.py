@@ -21,17 +21,20 @@ Example
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List, Optional
 
 from ..cudalite import ast_nodes as ast
 from ..cudalite.parser import parse_program
-from ..errors import PipelineError
+from ..errors import PipelineError, ReproError
 from .stages import (
     STAGE_FUNCTIONS,
     STAGES,
     PipelineConfig,
     PipelineState,
 )
+
+logger = logging.getLogger(__name__)
 
 Intervention = Callable[[PipelineState], Optional[PipelineState]]
 
@@ -66,16 +69,29 @@ class Framework:
     # -------------------------------------------------------------- execution
 
     def run_stage(self, stage: str) -> PipelineState:
-        """Run one stage (its prerequisites must have run already)."""
+        """Run one stage (its prerequisites must have run already).
+
+        A :class:`ReproError` escaping a stage is tagged with the stage
+        name (``exc.stage``) so front ends can report where the pipeline
+        failed without parsing messages.
+        """
         if stage not in STAGES:
             raise PipelineError(f"unknown stage {stage!r}; stages: {STAGES}")
-        self.state = STAGE_FUNCTIONS[stage](self.state)
+        logger.info("running stage %s", stage)
+        try:
+            self.state = STAGE_FUNCTIONS[stage](self.state)
+        except ReproError as exc:
+            if exc.stage is None:
+                exc.stage = stage
+            logger.error("stage %s failed: %s", stage, exc)
+            raise
         for callback in self._interventions[stage]:
             replacement = callback(self.state)
             if replacement is not None:
                 self.state = replacement
         if stage not in self._completed:
             self._completed.append(stage)
+        logger.info("stage %s complete: %s", stage, self.state.reports.get(stage, ""))
         return self.state
 
     def run(

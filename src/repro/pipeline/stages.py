@@ -16,7 +16,8 @@ the programmer amend them in between.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +27,7 @@ from ..analysis.filtering import TargetReport, identify_targets, tag_eligibility
 from ..analysis.metadata import ProgramMetadata
 from ..cudalite import ast_nodes as ast
 from ..cudalite.unparser import unparse
-from ..errors import PipelineError
+from ..errors import PipelineError, ReproError
 from ..gpu.device import DeviceSpec, K20X
 from ..gpu.interpreter import outputs_allclose, run_program
 from ..gpu.perfmodel import ProgramProjection
@@ -39,6 +40,8 @@ from ..graphs import (
     validate_ddg,
     validate_oeg,
 )
+from ..reliability.degrade import DemotionRecord
+from ..reliability.verify import VerifyConfig
 from ..search import (
     BuiltProblem,
     GAParams,
@@ -46,6 +49,7 @@ from ..search import (
     build_problem,
     fast_params,
     run_search,
+    singleton_grouping,
 )
 from ..transform.fusion import FusionOptions
 from .apply import (
@@ -54,6 +58,8 @@ from .apply import (
     project_baseline,
     project_transformed,
 )
+
+logger = logging.getLogger(__name__)
 
 STAGES: Tuple[str, ...] = ("metadata", "targets", "graphs", "search", "codegen")
 
@@ -75,6 +81,13 @@ class PipelineConfig:
     stage_shared: bool = True
     #: verify the transformed program's output against the original
     verify: bool = True
+    #: verify each fused group against its unfused constituents as it is
+    #: generated (the per-group gate; see repro.reliability.verify)
+    verify_groups: bool = True
+    #: degrade gracefully instead of raising: a failed search falls back
+    #: to the identity grouping, a failed whole-program verification
+    #: falls back to the identity (untransformed-kernel) program
+    fail_soft: bool = True
     #: optional directory where stage artifacts are written
     workdir: Optional[str] = None
     #: fine-grained codegen-strategy overrides (field name -> value), applied
@@ -204,8 +217,33 @@ def stage_search(state: PipelineState) -> PipelineState:
         enable_fission=state.config.enable_fission,
     )
     params = state.config.ga_params or fast_params()
-    state.search = run_search(state.built.problem, state.config.device, params)
+    search_note = ""
+    try:
+        state.search = run_search(state.built.problem, state.config.device, params)
+    except ReproError as exc:
+        if not state.config.fail_soft:
+            raise
+        logger.error(
+            "search failed (%s); falling back to the identity grouping", exc
+        )
+        state.search = SearchResult(
+            best=singleton_grouping(state.built.problem),
+            best_fitness=0.0,
+            projected_time_s=0.0,
+            history=[],
+            generations_run=0,
+            converged_at=0,
+            avg_fissions_per_generation=0.0,
+            evaluations=0,
+        )
+        search_note = f"; search failed ({exc}), fell back to identity grouping"
     result = state.search
+    if state.built.analysis_failures:
+        failed = ", ".join(sorted(state.built.analysis_failures))
+        search_note += (
+            f"; {len(state.built.analysis_failures)} launches "
+            f"analyzed conservatively ({failed})"
+        )
     state.reports["search"] = (
         f"GGA: {result.generations_run} generations, "
         f"{result.evaluations} evaluations, converged at generation "
@@ -214,15 +252,38 @@ def stage_search(state: PipelineState) -> PipelineState:
         f"{result.fused_group_count} fused groups / "
         f"{result.new_kernel_count} new kernels; "
         f"avg fissions/generation {result.avg_fissions_per_generation:.3f}"
+        + search_note
     )
     state._persist("search.txt", state.reports["search"])
     return state
 
 
+def _whole_program_verified(state: PipelineState) -> bool:
+    """Run original vs transformed (forward + reversed block order)."""
+    assert state.transform is not None
+    before = run_program(state.program)
+    after = run_program(state.transform.program)
+    # second run with reversed block order exposes inter-block races
+    after_reversed = run_program(state.transform.program, block_order="reverse")
+    return outputs_allclose(before, after) and outputs_allclose(
+        before, after_reversed
+    )
+
+
 def stage_codegen(state: PipelineState) -> PipelineState:
-    """Stage 5: generate the new kernels and rewrite the host code."""
+    """Stage 5: generate the new kernels and rewrite the host code.
+
+    Per-group verification and ladder demotion happen inside
+    :func:`~repro.pipeline.apply.materialize`; this stage additionally
+    verifies the whole transformed program and — under ``fail_soft`` —
+    falls back to the identity (no-fusion) program rather than raising
+    when that last check fails.
+    """
     if state.built is None or state.search is None or state.metadata is None:
         raise PipelineError("earlier stages have not run")
+    verify_cfg = VerifyConfig.from_env()
+    if not state.config.verify_groups:
+        verify_cfg = replace(verify_cfg, enabled=False)
     state.transform = materialize(
         state.program,
         state.built.problem,
@@ -232,26 +293,66 @@ def stage_codegen(state: PipelineState) -> PipelineState:
         state.metadata.array_shapes,
         options=state.config.fusion_options(),
         tune_blocks=state.config.tune_blocks,
+        verify_config=verify_cfg,
     )
     state.baseline_projection = project_baseline(
         state.built.problem, state.config.device
     )
+    codegen_note = ""
+    if state.config.verify:
+        state.verified = _whole_program_verified(state)
+        if not state.verified:
+            if not state.config.fail_soft:
+                raise PipelineError(
+                    "transformed program output does not match the original"
+                )
+            logger.error(
+                "whole-program verification failed; falling back to the "
+                "identity (no-fusion) program"
+            )
+            demoted = [
+                DemotionRecord(
+                    launch.members,
+                    "complex" if launch.fused.is_complex else "simple",
+                    "none",
+                    "whole-program verification mismatch",
+                )
+                for launch in state.transform.launches
+                if launch.fused is not None
+            ]
+            fallback = materialize(
+                state.program,
+                state.built.problem,
+                state.built.bindings,
+                singleton_grouping(state.built.problem),
+                state.config.device,
+                state.metadata.array_shapes,
+                options=state.config.fusion_options(),
+                tune_blocks=False,
+                verify_config=replace(verify_cfg, enabled=False),
+            )
+            fallback.demotions = state.transform.demotions + demoted
+            fallback.degraded_groups = state.transform.degraded_groups + [
+                d.members for d in demoted
+            ]
+            state.transform = fallback
+            codegen_note = "; fell back to identity program"
+            state.verified = _whole_program_verified(state)
+            if not state.verified:
+                raise PipelineError(
+                    "identity fallback program does not match the original "
+                    "— the pipeline cannot produce a correct program"
+                )
     state.transformed_projection = project_transformed(
         state.transform, state.built.problem, state.config.device
     )
-    if state.config.verify:
-        before = run_program(state.program)
-        after = run_program(state.transform.program)
-        # second run with reversed block order exposes inter-block races
-        after_reversed = run_program(state.transform.program, block_order="reverse")
-        state.verified = outputs_allclose(before, after) and outputs_allclose(
-            before, after_reversed
-        )
-        if not state.verified:
-            raise PipelineError(
-                "transformed program output does not match the original"
-            )
     tuned = [t for t in state.transform.tuning if t.changed]
+    demotions = state.transform.demotions
+    demotion_note = ""
+    if demotions:
+        demotion_note = f"; {len(demotions)} demotions:\n" + "\n".join(
+            "  " + d.describe() for d in demotions
+        )
     state.reports["codegen"] = (
         f"generated {state.transform.new_kernel_count} kernels "
         f"({len(state.transform.fused_kernels)} fused, "
@@ -259,6 +360,8 @@ def stage_codegen(state: PipelineState) -> PipelineState:
         f"tuned {len(tuned)} / {len(state.transform.tuning)} blocks; "
         f"projected speedup {state.speedup:.3f}x"
         + ("; output verified" if state.verified else "")
+        + codegen_note
+        + demotion_note
     )
     state._persist("transformed.cu", unparse(state.transform.program))
     state._persist("codegen.txt", state.reports["codegen"])

@@ -1,0 +1,79 @@
+"""The fusion degradation ladder and its bookkeeping.
+
+When a fused group fails codegen or the verification gate, the pipeline
+does not abort: it *demotes* the group one rung down the ladder
+
+    complex fusion  →  simple fusion (per precedence wave)  →  no fusion
+
+and records the demotion, with its cause, for the stage report.
+
+The middle rung needs care to stay semantics-preserving.  A complex
+group has internal RAW edges (producer kernels feeding consumers), which
+is exactly what simple fusion cannot express within one kernel.  The
+ladder therefore splits the group into *precedence waves* — longest-path
+depths over the internal dependence edges — so that no edge connects two
+members of the same wave.  Each multi-member wave is simple-fused into
+its own kernel and the waves launch in depth order; separate launches
+act as barriers, so every producer's writes are globally visible before
+any consumer in a later wave reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: ladder rungs, strongest first
+LEVELS = ("complex", "simple", "none")
+
+
+@dataclass(frozen=True)
+class DemotionRecord:
+    """One group's slide down the fusion ladder.
+
+    ``members`` are the affected node ids (e.g. ``("k1@0", "k2@1")``),
+    ``from_level``/``to_level`` are rungs from :data:`LEVELS`, and
+    ``cause`` is a human-readable reason (the triggering error or
+    verification verdict).
+    """
+
+    members: Tuple[str, ...]
+    from_level: str
+    to_level: str
+    cause: str
+
+    def describe(self) -> str:
+        names = ",".join(str(m) for m in self.members)
+        return f"[{names}] {self.from_level}->{self.to_level}: {self.cause}"
+
+
+def fusion_waves(
+    count: int, edges: Sequence[Tuple[int, int]]
+) -> List[List[int]]:
+    """Partition ``range(count)`` into precedence waves.
+
+    ``edges`` are (producer, consumer) pairs over local member positions.
+    A member's wave is its longest-path depth from any source, so no
+    edge ever connects two members of one wave — each wave is a valid
+    simple-fusion candidate, and launching waves in order preserves
+    every cross-wave dependence through the inter-launch barrier.
+
+    Members within a wave keep their original relative order, which
+    keeps the ladder deterministic.
+    """
+    depth: Dict[int, int] = {i: 0 for i in range(count)}
+    # longest-path relaxation; edges follow launch order (producer index
+    # < consumer index after scheduling) so a single ordered sweep would
+    # do, but iterate to a fixed point to stay order-agnostic
+    for _ in range(max(1, count)):
+        changed = False
+        for producer, consumer in edges:
+            if depth[consumer] < depth[producer] + 1:
+                depth[consumer] = depth[producer] + 1
+                changed = True
+        if not changed:
+            break
+    waves: Dict[int, List[int]] = {}
+    for member in range(count):
+        waves.setdefault(depth[member], []).append(member)
+    return [waves[d] for d in sorted(waves)]

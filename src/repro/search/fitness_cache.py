@@ -92,6 +92,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: entries rejected by read-side validation and dropped
+    invalid: int = 0
 
     @property
     def lookups(self) -> int:
@@ -100,6 +102,36 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+def validate_fitness_result(value: Any) -> bool:
+    """Is ``value`` a well-formed ``(fitness, Violations)`` pair?
+
+    The cache is long-lived and process-wide, so a corrupted entry (a
+    poisoned test value, a partially unpickled object from a crashed
+    worker, an incompatible type from an older run) must surface as a
+    cache *miss*, never as a GGA crash.  Validation requires a real
+    finite-or-infinite number (not a bool) plus a violations object, and
+    that the pair round-trips through pickle so process-pool transport
+    cannot fail later.
+    """
+    import math
+    import pickle
+
+    if not isinstance(value, tuple) or len(value) != 2:
+        return False
+    fitness, violations = value
+    if isinstance(fitness, bool) or not isinstance(fitness, (int, float)):
+        return False
+    if isinstance(fitness, float) and math.isnan(fitness):
+        return False
+    if violations is None or not hasattr(violations, "total"):
+        return False
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
 
 
 class FitnessCache:
@@ -115,10 +147,17 @@ class FitnessCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str, validator: Optional[Any] = None) -> Optional[Any]:
+        """Look up ``key``; an entry rejected by ``validator`` is dropped
+        and reported as a miss."""
         with self._lock:
             value = self._entries.get(key)
             if value is None:
+                self.stats.misses += 1
+                return None
+            if validator is not None and not validator(value):
+                del self._entries[key]
+                self.stats.invalid += 1
                 self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -132,6 +171,11 @@ class FitnessCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def discard(self, key: str) -> None:
+        """Remove ``key`` if present (recovery from detected corruption)."""
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
         with self._lock:
@@ -148,11 +192,14 @@ class NullCache:
     def __len__(self) -> int:
         return 0
 
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str, validator: Optional[Any] = None) -> Optional[Any]:
         self.stats.misses += 1
         return None
 
     def put(self, key: str, value: Any) -> None:
+        pass
+
+    def discard(self, key: str) -> None:
         pass
 
     def clear(self) -> None:

@@ -18,6 +18,17 @@ GA seed.  In ``process`` mode the worker additionally seeds the global
 ``random`` and ``numpy`` generators with that value before every
 evaluation.
 
+Fault tolerance
+---------------
+Worker evaluation is hardened: each individual's evaluation carries an
+optional timeout, failed or timed-out evaluations are retried a bounded
+number of times, and when the pool itself breaks (a killed process-pool
+child, a pool that cannot start) the evaluator falls back to in-process
+sequential evaluation.  Because the objective is a pure function of the
+individual, the fallback produces bit-identical results — fault recovery
+never changes the search trajectory.  Cache reads are validated, so a
+poisoned or corrupted entry surfaces as a miss instead of a crash.
+
 Environment configuration
 -------------------------
 ``REPRO_SEARCH_WORKERS``
@@ -25,28 +36,47 @@ Environment configuration
 ``REPRO_SEARCH_EXECUTOR``
     ``thread`` (default) or ``process``.  Process mode requires the
     objective to be registered by name in every worker (built-ins are).
+``REPRO_EVAL_TIMEOUT``
+    Per-individual evaluation timeout in seconds (unset or ``<= 0``
+    disables the timeout).
+``REPRO_EVAL_RETRIES``
+    How many times a failed/timed-out evaluation is re-submitted to the
+    pool before falling back in-process (default ``1``).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import random
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.device import DeviceSpec
+from ..reliability import faults
 from .fitness_cache import (
     FitnessCache,
     NullCache,
     content_key,
     individual_seed,
+    validate_fitness_result,
 )
 from .grouping import FusionProblem, Grouping, Violations
 from .objective import ObjectiveFn, evaluate_individual, get_objective
 from .penalty import PenaltyParams
 
+logger = logging.getLogger(__name__)
+
 ENV_WORKERS = "REPRO_SEARCH_WORKERS"
 ENV_EXECUTOR = "REPRO_SEARCH_EXECUTOR"
+ENV_EVAL_TIMEOUT = "REPRO_EVAL_TIMEOUT"
+ENV_EVAL_RETRIES = "REPRO_EVAL_RETRIES"
 
 EvalResult = Tuple[float, Violations]
 
@@ -64,6 +94,27 @@ def workers_from_env(default: int = 0) -> int:
 def executor_kind_from_env(default: str = "thread") -> str:
     raw = os.environ.get(ENV_EXECUTOR, default).strip().lower()
     return raw if raw in ("thread", "process") else default
+
+
+def eval_timeout_from_env(default: Optional[float] = None) -> Optional[float]:
+    raw = os.environ.get(ENV_EVAL_TIMEOUT)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
+def eval_retries_from_env(default: int = 1) -> int:
+    raw = os.environ.get(ENV_EVAL_RETRIES)
+    if raw is None:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
 
 
 # ------------------------------------------------------- process-mode plumbing
@@ -86,6 +137,9 @@ def _init_process_worker(
 
 
 def _process_evaluate(individual: Grouping) -> EvalResult:
+    # worker seams fire here only — never in the in-process fallback, so
+    # a crash/hang plan cannot follow the evaluation out of the pool
+    faults.worker_fault(allow_exit=True)
     base_seed = int(_worker_state["base_seed"])  # type: ignore[arg-type]
     seed = individual_seed(individual, base_seed)
     random.seed(seed)
@@ -108,7 +162,7 @@ def _process_evaluate(individual: Grouping) -> EvalResult:
 
 
 class PopulationEvaluator:
-    """Memoized, optionally parallel evaluation of GGA populations.
+    """Memoized, parallel, fault-tolerant evaluation of GGA populations.
 
     Parameters
     ----------
@@ -124,6 +178,12 @@ class PopulationEvaluator:
     executor:
         ``"thread"`` or ``"process"``; ``None`` defers to
         ``REPRO_SEARCH_EXECUTOR``.
+    timeout:
+        Per-individual evaluation timeout in seconds; ``None`` defers to
+        ``REPRO_EVAL_TIMEOUT`` (no timeout when unset).
+    retries:
+        Pool re-submissions per individual before the in-process
+        fallback; ``None`` defers to ``REPRO_EVAL_RETRIES`` (default 1).
     """
 
     def __init__(
@@ -139,6 +199,8 @@ class PopulationEvaluator:
         workers: Optional[int] = None,
         executor: Optional[str] = None,
         base_seed: int = 0,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> None:
         self.problem = problem
         self.device = device
@@ -152,12 +214,21 @@ class PopulationEvaluator:
             executor_kind_from_env() if executor is None else executor
         )
         self.base_seed = base_seed
+        self.timeout = eval_timeout_from_env() if timeout is None else (
+            timeout if timeout > 0 else None
+        )
+        self.retries = eval_retries_from_env() if retries is None else max(0, retries)
         self.evaluations = 0  # objective calls actually executed
         self.lookups = 0  # individual fitness requests seen
         #: requests answered without executing the objective — cache hits
         #: plus within-batch duplicates served by the dedup pass
         self.cache_hits = 0
+        #: worker evaluations that timed out or errored and were retried
+        self.worker_failures = 0
+        #: individuals ultimately computed by the in-process fallback
+        self.fallback_evaluations = 0
         self._executor: Optional[Executor] = None
+        self._pool_broken = False
 
     # ------------------------------------------------------------- lifecycle
 
@@ -182,6 +253,21 @@ class PopulationEvaluator:
                 )
         return self._executor
 
+    def _mark_pool_broken(self, reason: str) -> None:
+        if not self._pool_broken:
+            logger.warning(
+                "evaluation pool unusable (%s); falling back to in-process "
+                "sequential evaluation",
+                reason,
+            )
+        self._pool_broken = True
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._executor = None
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
@@ -201,17 +287,93 @@ class PopulationEvaluator:
             self.problem, individual, self.device, self.objective, self.penalties
         )
 
+    def _compute_in_worker(self, individual: Grouping) -> EvalResult:
+        """Thread-pool worker entry: the only thread path with fault seams."""
+        faults.worker_fault(allow_exit=False)
+        return self._compute(individual)
+
+    def _cache_get(self, key: str) -> Optional[EvalResult]:
+        if faults.poison_cache_value():
+            # fault seam: corrupt the entry *before* the validated read,
+            # proving read validation turns poison into a miss
+            self.cache.put(key, ("poisoned-fitness-entry", None))
+        return self.cache.get(key, validator=validate_fitness_result)
+
     def evaluate(self, individual: Grouping) -> EvalResult:
         """Evaluate one individual through the cache (sequentially)."""
         self.lookups += 1
         key = content_key(individual, self.namespace)
-        cached = self.cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         result = self._compute(individual)
         self.cache.put(key, result)
         return result
+
+    def _evaluate_parallel(
+        self, pending: List[Tuple[str, Grouping]]
+    ) -> List[EvalResult]:
+        """Fan ``pending`` out over the pool; survive timeouts, worker
+        failures and a broken pool.  Results are in ``pending`` order and
+        bit-identical to sequential evaluation (the objective is pure)."""
+        results: List[Optional[EvalResult]] = [None] * len(pending)
+        todo = list(range(len(pending)))
+        attempts = 0
+        while todo and not self._pool_broken and attempts <= self.retries:
+            attempts += 1
+            try:
+                executor = self._ensure_executor()
+            except Exception as exc:
+                self._mark_pool_broken(f"failed to start: {exc}")
+                break
+            is_process = isinstance(executor, ProcessPoolExecutor)
+            fn = _process_evaluate if is_process else self._compute_in_worker
+            try:
+                futures = [
+                    (i, executor.submit(fn, pending[i][1])) for i in todo
+                ]
+            except Exception as exc:
+                self._mark_pool_broken(f"submit failed: {exc}")
+                break
+            retry: List[int] = []
+            for i, future in futures:
+                try:
+                    result = future.result(timeout=self.timeout)
+                    if is_process:
+                        self.evaluations += 1
+                    results[i] = result
+                except BrokenExecutor as exc:
+                    self._mark_pool_broken(f"worker died: {exc}")
+                    retry.append(i)
+                except FuturesTimeoutError:
+                    self.worker_failures += 1
+                    logger.warning(
+                        "evaluation of individual %d timed out after %ss "
+                        "(attempt %d/%d)",
+                        i,
+                        self.timeout,
+                        attempts,
+                        self.retries + 1,
+                    )
+                    retry.append(i)
+                except Exception as exc:
+                    self.worker_failures += 1
+                    logger.warning(
+                        "worker evaluation of individual %d failed "
+                        "(attempt %d/%d): %s",
+                        i,
+                        attempts,
+                        self.retries + 1,
+                        exc,
+                    )
+                    retry.append(i)
+            todo = retry
+        for i in todo:
+            # deterministic last resort: compute in-process, no seams
+            self.fallback_evaluations += 1
+            results[i] = self._compute(pending[i][1])
+        return results  # type: ignore[return-value]
 
     def evaluate_many(self, individuals: Sequence[Grouping]) -> List[EvalResult]:
         """Evaluate a population; results in input order.
@@ -228,7 +390,7 @@ class PopulationEvaluator:
         for key, individual in zip(keys, individuals):
             if key in results or key in pending_keys:
                 continue
-            cached = self.cache.get(key)
+            cached = self._cache_get(key)
             if cached is not None:
                 results[key] = cached
             else:
@@ -236,22 +398,8 @@ class PopulationEvaluator:
                 pending_keys.add(key)
 
         if pending:
-            if self.workers > 1 and len(pending) > 1:
-                executor = self._ensure_executor()
-                if isinstance(executor, ProcessPoolExecutor):
-                    self.evaluations += len(pending)
-                    chunksize = max(1, len(pending) // (self.workers * 4))
-                    computed = list(
-                        executor.map(
-                            _process_evaluate,
-                            [ind for _, ind in pending],
-                            chunksize=chunksize,
-                        )
-                    )
-                else:
-                    computed = list(
-                        executor.map(self._compute, [ind for _, ind in pending])
-                    )
+            if self.workers > 1 and len(pending) > 1 and not self._pool_broken:
+                computed = self._evaluate_parallel(pending)
             else:
                 computed = [self._compute(ind) for _, ind in pending]
             for (key, _), result in zip(pending, computed):

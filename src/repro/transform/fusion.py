@@ -139,6 +139,9 @@ class FusedKernel:
     constituents: Tuple[str, ...]
     is_complex: bool
     tiles: Tuple[TileSpec, ...] = ()
+    #: scalar argument *values* per scalar parameter, in parameter order
+    #: (lets the verification gate launch the kernel without host context)
+    scalar_values: Tuple[float, ...] = ()
 
 
 # --------------------------------------------------------------------- helpers
@@ -626,6 +629,9 @@ def fuse_kernels(
         constituents=tuple(c.name for c in constituents),
         is_complex=is_complex,
         tiles=tuple(all_tiles),
+        scalar_values=tuple(
+            fused_scalar_values[p.name] for p in scalar_params
+        ),
     )
 
 

@@ -1,0 +1,305 @@
+"""Fault tolerance of the parallel fitness evaluator and the fitness cache.
+
+Worker crashes and hangs, a broken process pool, poisoned and corrupted
+cache entries: in every case the evaluator must return the same results as
+plain sequential evaluation — fault recovery never changes the search
+trajectory — and must never crash the GGA.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.filtering import identify_targets
+from repro.gpu.device import K20X
+from repro.gpu.profiler import gather_metadata
+from repro.reliability import faults
+from repro.search import PenaltyParams, build_problem, singleton_grouping
+from repro.search.fitness_cache import (
+    FitnessCache,
+    NullCache,
+    content_key,
+    validate_fitness_result,
+)
+from repro.search.grouping import Grouping
+from repro.search.objective import get_objective
+from repro.search.parallel import (
+    ENV_EVAL_RETRIES,
+    ENV_EVAL_TIMEOUT,
+    PopulationEvaluator,
+    eval_retries_from_env,
+    eval_timeout_from_env,
+    evaluate_population_sequential,
+)
+
+OBJECTIVE_NAME = "projected_gflops"
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture(scope="module")
+def problem(three_kernel_program):
+    meta = gather_metadata(three_kernel_program, K20X)
+    report = identify_targets(meta, K20X)
+    return build_problem(three_kernel_program, meta, report, K20X).problem
+
+
+@pytest.fixture(scope="module")
+def three_kernel_program():
+    from repro.cudalite import parse_program
+
+    from conftest import THREE_KERNEL_SRC
+
+    return parse_program(THREE_KERNEL_SRC)
+
+
+@pytest.fixture(scope="module")
+def population(problem):
+    """Four distinct partitions of the three-kernel problem."""
+    return [
+        singleton_grouping(problem),
+        Grouping(
+            split=frozenset(),
+            groups=(frozenset({"k1@0", "k2@1", "k3@2"}),),
+        ),
+        Grouping(
+            split=frozenset(),
+            groups=(frozenset({"k1@0", "k2@1"}), frozenset({"k3@2"})),
+        ),
+        Grouping(
+            split=frozenset(),
+            groups=(frozenset({"k2@1", "k3@2"}), frozenset({"k1@0"})),
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(problem, population):
+    return evaluate_population_sequential(
+        problem,
+        population,
+        K20X,
+        get_objective(OBJECTIVE_NAME),
+        PenaltyParams(),
+    )
+
+
+def make_evaluator(problem, **kwargs):
+    kwargs.setdefault("objective_name", OBJECTIVE_NAME)
+    kwargs.setdefault("cache", FitnessCache(max_entries=256))
+    kwargs.setdefault("namespace", "hardening-test")
+    return PopulationEvaluator(
+        problem,
+        K20X,
+        get_objective(OBJECTIVE_NAME),
+        PenaltyParams(),
+        **kwargs,
+    )
+
+
+def install(spec, **kwargs):
+    faults.install_plan(
+        faults.FaultPlan(seams=faults.parse_seam_specs(spec), **kwargs)
+    )
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_sequential_matches_reference(problem, population, reference):
+    with make_evaluator(problem, workers=0) as evaluator:
+        assert evaluator.evaluate_many(population) == reference
+
+
+@pytest.mark.parametrize("workers", (2, 3))
+def test_thread_pool_matches_reference(problem, population, reference, workers):
+    with make_evaluator(
+        problem, workers=workers, executor="thread"
+    ) as evaluator:
+        assert evaluator.evaluate_many(population) == reference
+
+
+def test_duplicates_computed_once(problem, population, reference):
+    batch = population + population  # every individual appears twice
+    with make_evaluator(problem, workers=2, executor="thread") as evaluator:
+        results = evaluator.evaluate_many(batch)
+    assert results == reference + reference
+    assert evaluator.evaluations == len(population)
+    assert evaluator.cache_hits == len(population)
+
+
+# --------------------------------------------------------- worker failures
+
+
+def test_thread_worker_crash_is_retried(problem, population, reference):
+    install("worker_crash:x1")
+    with make_evaluator(
+        problem, workers=2, executor="thread", retries=1
+    ) as evaluator:
+        results = evaluator.evaluate_many(population)
+    assert results == reference
+    assert evaluator.worker_failures >= 1
+    assert not evaluator._pool_broken  # a thread crash is not a broken pool
+
+
+def test_worker_hang_trips_timeout_then_falls_back(
+    problem, population, reference
+):
+    install("worker_hang:x1", hang_seconds=0.6)
+    with make_evaluator(
+        problem, workers=2, executor="thread", timeout=0.15, retries=0
+    ) as evaluator:
+        results = evaluator.evaluate_many(population)
+        assert results == reference
+        assert evaluator.worker_failures >= 1
+        assert evaluator.fallback_evaluations >= 1
+
+
+def test_crashes_beyond_retry_budget_fall_back_in_process(
+    problem, population, reference
+):
+    install("worker_crash")  # every worker evaluation crashes, forever
+    with make_evaluator(
+        problem, workers=2, executor="thread", retries=1
+    ) as evaluator:
+        results = evaluator.evaluate_many(population)
+    assert results == reference
+    # two submission rounds failed, then everything was computed in-process
+    assert evaluator.fallback_evaluations == len(population)
+
+
+def test_broken_process_pool_falls_back_sequential(
+    problem, population, reference, monkeypatch
+):
+    # env-configured so pool children pick the plan up on first use
+    monkeypatch.setenv(faults.ENV_FAULT_SEAMS, "worker_crash")
+    faults.clear_plan()
+    with make_evaluator(
+        problem, workers=2, executor="process", retries=1
+    ) as evaluator:
+        results = evaluator.evaluate_many(population)
+        assert results == reference
+        assert evaluator._pool_broken
+        assert evaluator.fallback_evaluations >= 1
+        # once broken, later batches run sequentially without incident
+        monkeypatch.delenv(faults.ENV_FAULT_SEAMS)
+        faults.clear_plan()
+        assert evaluator.evaluate_many(population) == reference
+
+
+# ----------------------------------------------------------- cache hardening
+
+
+def test_poisoned_cache_entry_is_a_miss_not_a_crash(
+    problem, population, reference
+):
+    install("fitness_cache")  # poison every cache read
+    cache = FitnessCache(max_entries=256)
+    with make_evaluator(problem, workers=0, cache=cache) as evaluator:
+        first = evaluator.evaluate(population[0])
+        second = evaluator.evaluate(population[0])
+    assert first == second == reference[0]
+    assert cache.stats.invalid >= 2  # both reads saw (and dropped) poison
+    assert evaluator.cache_hits == 0
+    assert evaluator.evaluations == 2  # each poisoned read forced a recompute
+
+
+def test_garbage_cache_entries_are_misses(problem, population, reference):
+    cache = FitnessCache(max_entries=256)
+    evaluator = make_evaluator(problem, workers=0, cache=cache)
+    individual = population[0]
+    key = content_key(individual, evaluator.namespace)
+    garbage = [
+        "not a tuple",
+        ("fitness", None, "extra"),
+        (float("nan"), SimpleNamespace(total=0)),
+        (True, SimpleNamespace(total=0)),
+        (1.0, None),
+        (1.0, SimpleNamespace(total=lambda: 0)),  # unpicklable
+    ]
+    for value in garbage:
+        cache.put(key, value)
+        assert evaluator.evaluate(individual) == reference[0]
+    assert cache.stats.invalid == len(garbage)
+    # the recomputed (valid) entry is served on a clean read
+    assert cache.get(key, validator=validate_fitness_result) == reference[0]
+
+
+def test_validate_fitness_result():
+    violations = SimpleNamespace(total=0)
+    assert validate_fitness_result((1.5, violations))
+    assert validate_fitness_result((float("inf"), violations))
+    assert not validate_fitness_result("garbage")
+    assert not validate_fitness_result((1.0,))
+    assert not validate_fitness_result((True, violations))
+    assert not validate_fitness_result((float("nan"), violations))
+    assert not validate_fitness_result((1.0, None))
+    assert not validate_fitness_result((1.0, object()))  # no .total
+    assert not validate_fitness_result((1.0, SimpleNamespace(total=lambda: 0)))
+
+
+def test_invalid_entry_is_dropped_from_the_cache():
+    cache = FitnessCache(max_entries=8)
+    cache.put("k", "garbage")
+    assert cache.get("k", validator=validate_fitness_result) is None
+    assert len(cache) == 0
+    assert cache.stats.invalid == 1
+    # without a validator the raw value is still readable
+    cache.put("k", "garbage")
+    assert cache.get("k") == "garbage"
+
+
+def test_discard_removes_entries():
+    cache = FitnessCache(max_entries=8)
+    cache.put("k", (1.0, SimpleNamespace(total=0)))
+    cache.discard("k")
+    assert len(cache) == 0
+    cache.discard("never-there")  # no-op, no error
+
+
+def test_null_cache_accepts_validator():
+    cache = NullCache()
+    assert cache.get("k", validator=validate_fitness_result) is None
+    cache.put("k", (1.0, None))
+    cache.discard("k")
+    assert len(cache) == 0
+
+
+# --------------------------------------------------------- env configuration
+
+
+def test_eval_timeout_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_EVAL_TIMEOUT, raising=False)
+    assert eval_timeout_from_env() is None
+    monkeypatch.setenv(ENV_EVAL_TIMEOUT, "2.5")
+    assert eval_timeout_from_env() == 2.5
+    monkeypatch.setenv(ENV_EVAL_TIMEOUT, "0")
+    assert eval_timeout_from_env() is None  # 0 disables the timeout
+    monkeypatch.setenv(ENV_EVAL_TIMEOUT, "-3")
+    assert eval_timeout_from_env() is None
+    monkeypatch.setenv(ENV_EVAL_TIMEOUT, "soon")
+    assert eval_timeout_from_env() is None
+
+
+def test_eval_retries_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_EVAL_RETRIES, raising=False)
+    assert eval_retries_from_env() == 1
+    monkeypatch.setenv(ENV_EVAL_RETRIES, "3")
+    assert eval_retries_from_env() == 3
+    monkeypatch.setenv(ENV_EVAL_RETRIES, "-2")
+    assert eval_retries_from_env() == 0
+    monkeypatch.setenv(ENV_EVAL_RETRIES, "many")
+    assert eval_retries_from_env() == 1
+
+
+def test_evaluator_reads_timeout_and_retries_from_env(problem, monkeypatch):
+    monkeypatch.setenv(ENV_EVAL_TIMEOUT, "1.5")
+    monkeypatch.setenv(ENV_EVAL_RETRIES, "4")
+    evaluator = make_evaluator(problem)
+    assert evaluator.timeout == 1.5
+    assert evaluator.retries == 4
