@@ -15,7 +15,9 @@ sequential baseline by >= 3x evaluations/sec on a repeated-grouping GGA
 run.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -25,6 +27,7 @@ from repro.cudalite import parse_program
 from repro.gpu.device import K20X
 from repro.gpu.interpreter import run_program
 from repro.gpu.profiler import gather_metadata
+from repro.observability import aggregate_counters
 from repro.search import (
     GGA,
     build_problem,
@@ -36,6 +39,9 @@ from repro.search.fitness_cache import reset_shared_cache
 from common import bench_params, fmt_row, print_header
 
 _ROWS = {}
+
+#: the perf trajectory record this PR starts (committed at the repo root)
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
 
 #: a classic stage-in / write-out tiled stencil: reads and writes are
 #: disjoint, so the interpreter's `auto` mode picks the batched strategy
@@ -171,10 +177,16 @@ def test_batched_interpretation(benchmark):
             np.array_equal(loop.arrays[k], batched.arrays[k])
             for k in loop.arrays
         )
+        # one counted run for the BENCH record's interpreter totals
+        counted = run_program(program, collect_counters=True)
+        totals = aggregate_counters(
+            [l.counters for l in counted.launches if l.counters is not None]
+        )
         return {
             "loop_ms": loop_time * 1e3,
             "batched_ms": batched_time * 1e3,
             "speedup": loop_time / batched_time,
+            "counters": {k: c.as_dict() for k, c in totals.items()},
         }
 
     row = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -211,3 +223,36 @@ def test_throughput_print(benchmark):
         print(f"\nbatched block interpretation: {row['batched_ms']:.1f} ms "
               f"vs loop {row['loop_ms']:.1f} ms "
               f"({row['speedup']:.1f}x on a 144-block tiled stencil)")
+    _write_bench_json()
+
+
+def _write_bench_json() -> None:
+    """Persist the run as ``BENCH_pr3.json`` — the perf trajectory record."""
+    record = {"schema": "repro.bench/1", "bench": "search_throughput"}
+    if "cache" in _ROWS:
+        row = _ROWS["cache"]
+        record["fitness_pipeline"] = {
+            "cached_evals_per_sec": round(row["cached_eps"], 1),
+            "baseline_evals_per_sec": round(row["baseline_eps"], 1),
+            "restart_evals_per_sec": round(row["restart_eps"], 1),
+            "cache_hit_rate": round(row["hit_rate"], 4),
+            "lookups": row["lookups"],
+            "evaluations": row["evaluations"],
+            "speedup_vs_uncached": round(row["speedup"], 2),
+        }
+    if "parallel" in _ROWS:
+        row = _ROWS["parallel"]
+        record["parallel_evaluation"] = {
+            "sequential_evals_per_sec": round(row["seq_eps"], 1),
+            "parallel4_evals_per_sec": round(row["par_eps"], 1),
+        }
+    if "batched" in _ROWS:
+        row = _ROWS["batched"]
+        record["batched_interpretation"] = {
+            "loop_ms": round(row["loop_ms"], 2),
+            "batched_ms": round(row["batched_ms"], 2),
+            "speedup": round(row["speedup"], 2),
+        }
+        record["interpreter_counters"] = row.get("counters", {})
+    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_JSON.name}")

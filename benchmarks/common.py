@@ -14,12 +14,16 @@ with the paper's numbers.
 
 from __future__ import annotations
 
+import atexit
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.apps import APP_NAMES, SPECS, build_app
 from repro.gpu.device import DeviceSpec, K20X, K40
+from repro.observability.metrics import get_registry
+from repro.observability.runtime import telemetry_enabled
 from repro.pipeline import Framework, PipelineConfig, PipelineState
 from repro.search import GAParams, fast_params
 
@@ -118,6 +122,41 @@ def guided_run(app: str, device: DeviceSpec = K20X) -> RunOutcome:
         return run_pipeline(app, device, filtering="manual")
     overrides = guided_overrides(app)
     return run_pipeline(app, device, overrides=overrides)
+
+
+#: where the end-of-run metrics dump lands (next to the bench results)
+METRICS_OUT = Path(__file__).parent / "bench_metrics.json"
+
+_metrics_hook_registered = False
+
+
+def register_metrics_emission(path: Optional[Path] = None) -> None:
+    """Emit the process's metrics registry as JSON when the bench exits.
+
+    Registered once at import, so every ``bench_*.py`` run leaves its
+    metrics (pipeline stage times, search counters, cache rates) next to
+    its printed results without per-bench code.  A no-op when telemetry
+    is disabled or nothing was recorded.
+    """
+    global _metrics_hook_registered
+    if _metrics_hook_registered:
+        return
+    _metrics_hook_registered = True
+    target = path or METRICS_OUT
+
+    def _emit() -> None:
+        if not telemetry_enabled():
+            return
+        registry = get_registry()
+        dump = registry.to_json()
+        if not any(dump.values()):
+            return
+        registry.write_json(str(target))
+
+    atexit.register(_emit)
+
+
+register_metrics_emission()
 
 
 def print_header(title: str) -> None:

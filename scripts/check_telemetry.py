@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts one pipeline run emits.
+
+Usage::
+
+    python scripts/check_telemetry.py WORKDIR [--trace PATH] [--metrics PATH]
+
+Checks, with plain asserts and no dependencies:
+
+* ``run.json``        — schema tag, config/env/stage-time structure;
+* ``trace.json``      — Chrome trace-event shape, a well-formed span tree
+  (every parent_id resolves), and a ``stage:*`` span per pipeline stage;
+* ``search_telemetry.jsonl`` — one well-formed row per GGA generation
+  plus a trailing summary;
+* ``model_validation.json``  — per-kernel measured/projected pairs;
+* the metrics JSON    — counter/gauge/histogram series structure.
+
+Exit code 0 when everything validates, 1 with a message otherwise.
+CI runs this against a Fluam end-to-end run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+STAGES = ("metadata", "targets", "graphs", "search", "codegen")
+
+GENERATION_FIELDS = (
+    "generation", "best_fitness", "best_feasible_fitness", "mean_fitness",
+    "std_fitness", "feasible_count", "penalty_activations", "fissions",
+    "cache_hits", "cache_lookups", "evaluations", "worker_failures",
+    "eval_timeouts", "fallback_evaluations",
+)
+
+COUNTER_FIELDS = (
+    "kernel", "launches", "global_loads", "global_stores", "shared_loads",
+    "shared_stores", "global_load_bytes", "global_store_bytes",
+    "syncthreads", "branch_divergence",
+)
+
+
+def fail(message: str) -> None:
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def load_json(path: Path) -> object:
+    expect(path.is_file(), f"{path} does not exist")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+
+
+def check_run_manifest(path: Path) -> None:
+    run = load_json(path)
+    expect(isinstance(run, dict), "run.json must be an object")
+    expect(run.get("schema") == "repro.run/1", "run.json schema tag missing")
+    for key in ("config", "env", "stage_wall_time_s", "reports", "exit_code"):
+        expect(key in run, f"run.json missing key {key!r}")
+    expect(isinstance(run["env"], dict) and "knobs" in run["env"],
+           "run.json env.knobs missing")
+    times = run["stage_wall_time_s"]
+    expect(isinstance(times, dict), "stage_wall_time_s must be an object")
+    for stage, value in times.items():
+        expect(stage in STAGES, f"unknown stage {stage!r} in stage times")
+        expect(isinstance(value, (int, float)) and value >= 0,
+               f"stage time for {stage!r} must be a non-negative number")
+    if run["exit_code"] == 0:
+        expect(set(times) == set(STAGES) or run["config"].get("until"),
+               "a complete run must record wall time for all five stages")
+    else:
+        expect(run.get("error") is not None,
+               "a failed run must carry an error diagnostic")
+    print(f"  run manifest ok ({len(times)} stage times, "
+          f"exit {run['exit_code']})")
+
+
+def check_trace(path: Path) -> None:
+    trace = load_json(path)
+    expect(isinstance(trace, dict) and "traceEvents" in trace,
+           "trace.json must have traceEvents")
+    events = trace["traceEvents"]
+    expect(isinstance(events, list) and events, "traceEvents must be non-empty")
+    spans = []
+    for event in events:
+        expect({"name", "ph", "pid", "tid"} <= set(event),
+               f"malformed trace event: {event}")
+        if event["ph"] != "X":
+            continue
+        expect("ts" in event and "dur" in event and event["dur"] >= 0,
+               f"complete event needs ts/dur: {event}")
+        spans.append(event)
+    ids = {s["args"]["span_id"] for s in spans}
+    for s in spans:
+        parent = s["args"]["parent_id"]
+        expect(parent is None or parent in ids,
+               f"span {s['name']} has dangling parent {parent}")
+    names = [s["name"] for s in spans]
+    for stage in STAGES:
+        expect(f"stage:{stage}" in names, f"no span for stage {stage!r}")
+    print(f"  trace ok ({len(spans)} spans, all five stages covered)")
+
+
+def check_search_telemetry(path: Path) -> None:
+    expect(path.is_file(), f"{path} does not exist")
+    rows = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno} is not valid JSON: {exc}")
+    generations = [r for r in rows if r.get("type") == "generation"]
+    expect(generations, "no generation rows in search telemetry")
+    for row in generations:
+        missing = [f for f in GENERATION_FIELDS if f not in row]
+        expect(not missing, f"generation row missing fields {missing}")
+    expect(any(r.get("type") == "search_summary" for r in rows),
+           "no search_summary row in search telemetry")
+    expect([r["generation"] for r in generations]
+           == list(range(len(generations))),
+           "generation rows must be consecutive from 0")
+    print(f"  search telemetry ok ({len(generations)} generations)")
+
+
+def check_model_validation(path: Path) -> None:
+    report = load_json(path)
+    expect(isinstance(report, dict) and "kernels" in report,
+           "model_validation.json must have kernels")
+    kernels = report["kernels"]
+    expect(isinstance(kernels, list) and kernels,
+           "model validation compared no kernels")
+    for entry in kernels:
+        for key in ("kernel", "measured", "measured_global_bytes",
+                    "projected_bytes", "bytes_ratio"):
+            expect(key in entry, f"kernel validation missing {key!r}")
+        missing = [f for f in COUNTER_FIELDS if f not in entry["measured"]]
+        expect(not missing, f"measured counters missing fields {missing}")
+    expect(report.get("uncompared", 0) == 0,
+           f"{report['uncompared']} launches were not compared to the model")
+    print(f"  model validation ok ({len(kernels)} kernel launches)")
+
+
+def check_metrics(path: Path) -> None:
+    metrics = load_json(path)
+    expect(isinstance(metrics, dict), "metrics must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        expect(section in metrics, f"metrics missing section {section!r}")
+        for series in metrics[section]:
+            expect("name" in series and "labels" in series,
+                   f"malformed series in {section}: {series}")
+    counter_names = {c["name"] for c in metrics["counters"]}
+    expect("pipeline_stage_runs_total" in counter_names,
+           "expected pipeline_stage_runs_total counter")
+    print(f"  metrics ok ({len(metrics['counters'])} counter series)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workdir", help="pipeline working directory")
+    parser.add_argument("--trace", default=None,
+                        help="trace file (default WORKDIR/trace.json)")
+    parser.add_argument("--metrics", default=None,
+                        help="metrics file (default WORKDIR/metrics.json)")
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir)
+    expect(workdir.is_dir(), f"{workdir} is not a directory")
+    print(f"checking telemetry in {workdir}")
+    check_run_manifest(workdir / "run.json")
+    check_trace(Path(args.trace) if args.trace else workdir / "trace.json")
+    check_search_telemetry(workdir / "search_telemetry.jsonl")
+    check_model_validation(workdir / "model_validation.json")
+    check_metrics(
+        Path(args.metrics) if args.metrics else workdir / "metrics.json"
+    )
+    print("check_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

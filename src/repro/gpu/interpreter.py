@@ -51,6 +51,8 @@ import numpy as np
 
 from ..cudalite import ast_nodes as ast
 from ..errors import InterpreterError, OutOfBoundsError
+from ..observability.hwcounters import KernelCounters
+from ..observability.tracing import span
 
 Scalar = Union[int, float, bool]
 Value = Union[Scalar, np.ndarray]
@@ -102,6 +104,9 @@ class LaunchRecord:
     block: Dim3
     array_args: Tuple[str, ...]
     scalar_args: Tuple[Scalar, ...] = ()
+    #: hardware-ish event counters, populated when the interpreter runs
+    #: with ``collect_counters=True`` (None otherwise)
+    counters: Optional[KernelCounters] = None
 
 
 @dataclass
@@ -192,6 +197,7 @@ class _KernelExec:
         detect_races: bool = False,
         block_order: str = "forward",
         block_exec: str = "auto",
+        counters: Optional[KernelCounters] = None,
     ) -> None:
         self.kernel = kernel
         self.grid = grid
@@ -200,6 +206,12 @@ class _KernelExec:
         self.detect_races = detect_races
         self.block_order = block_order
         self.block_exec = block_exec
+        #: hardware-ish event counters; None disables counting entirely
+        #: (the hot paths then pay one `is not None` check per event site)
+        self.counters = counters
+        #: thread blocks covered by one statement execution in the current
+        #: mode (grid for vectorized, batch size for batched, 1 for loop)
+        self._blocks_covered = 1
         self.env: Dict[str, Value] = {}
         self.shared: Dict[str, np.ndarray] = {}
         #: in batched mode, the positional block index (nb, 1, 1, 1) used to
@@ -388,6 +400,7 @@ class _KernelExec:
         bx, by, bz = self.block.as_tuple()
         nx, ny, nz = gx * bx, gy * by, gz * bz
         self.lattice_shape = (nx, ny, nz)
+        self._blocks_covered = self.grid.count
         ax = np.arange(nx).reshape(nx, 1, 1)
         ay = np.arange(ny).reshape(1, ny, 1)
         az = np.arange(nz).reshape(1, 1, nz)
@@ -401,6 +414,7 @@ class _KernelExec:
     def _run_per_block(self) -> None:
         bx, by, bz = self.block.as_tuple()
         self.lattice_shape = (bx, by, bz)
+        self._blocks_covered = 1
         self.tidx = {
             "x": np.arange(bx).reshape(bx, 1, 1),
             "y": np.arange(by).reshape(1, by, 1),
@@ -428,6 +442,7 @@ class _KernelExec:
         nb = len(blocks)
         bx, by, bz = self.block.as_tuple()
         self.lattice_shape = (nb, bx, by, bz)
+        self._blocks_covered = nb
         self.tidx = {
             "x": np.arange(bx).reshape(1, bx, 1, 1),
             "y": np.arange(by).reshape(1, 1, by, 1),
@@ -441,6 +456,17 @@ class _KernelExec:
         self._block_axis = np.arange(nb).reshape(nb, 1, 1, 1)
         mask = np.ones((), dtype=bool)
         self._exec_block(self.kernel.body, mask)
+
+    # -------------------------------------------------------------- counters
+
+    def _active_threads(self, mask: Value) -> int:
+        """Threads the current mask keeps active over the full lattice."""
+        if isinstance(mask, np.ndarray) and mask.ndim > 0:
+            return int(np.count_nonzero(np.broadcast_to(mask, self.lattice_shape)))
+        total = 1
+        for extent in self.lattice_shape:
+            total *= extent
+        return total
 
     # -------------------------------------------------------------- statements
 
@@ -457,6 +483,11 @@ class _KernelExec:
             cond = self._eval(stmt.cond, mask)
             if isinstance(cond, np.ndarray) and cond.ndim > 0:
                 then_mask = np.logical_and(mask, cond)
+                if self.counters is not None:
+                    # active threads disagree on a thread-varying condition
+                    off_mask = np.logical_and(mask, np.logical_not(cond))
+                    if np.any(then_mask) and np.any(off_mask):
+                        self.counters.branch_divergence += 1
                 if np.any(then_mask):
                     self._exec_block(stmt.then, then_mask)
                 if stmt.els is not None:
@@ -473,7 +504,10 @@ class _KernelExec:
         elif isinstance(stmt, ast.While):
             self._exec_while(stmt, mask)
         elif isinstance(stmt, ast.SyncThreads):
-            pass  # statements already act as barriers in vectorized execution
+            # statements already act as barriers in vectorized execution;
+            # the counter still records one barrier per covered block
+            if self.counters is not None:
+                self.counters.syncthreads += self._blocks_covered
         elif isinstance(stmt, ast.ExprStmt):
             self._eval(stmt.expr, mask)
         elif isinstance(stmt, ast.Return):
@@ -714,6 +748,10 @@ class _KernelExec:
         arr, prefix, idxs = self._index_arrays(target, mask)
         name = target.array_name or "<anon>"
         idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
+        if self.counters is not None:
+            self.counters.count_store(
+                name in self.shared, self._active_threads(mask), arr.dtype.itemsize
+            )
         vector_axes = [
             i for i, idx in enumerate(idxs) if isinstance(idx, np.ndarray) and idx.ndim
         ]
@@ -937,6 +975,10 @@ class _KernelExec:
         arr, prefix, idxs = self._index_arrays(expr, mask)
         name = expr.array_name or "<anon>"
         idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
+        if self.counters is not None:
+            self.counters.count_load(
+                name in self.shared, self._active_threads(mask), arr.dtype.itemsize
+            )
         full = list(prefix) + list(idxs)
         if all(not (isinstance(i, np.ndarray) and i.ndim) for i in full):
             return arr[tuple(int(i) for i in full)]
@@ -980,6 +1022,7 @@ class HostInterpreter:
         execute_kernels: bool = True,
         block_order: str = "forward",
         block_exec: Optional[str] = None,
+        collect_counters: bool = False,
     ) -> None:
         """``block_order`` ('forward' | 'reverse') sets the sequential order
         in which per-block kernel execution visits thread blocks; running a
@@ -994,6 +1037,7 @@ class HostInterpreter:
         self.execute_kernels = execute_kernels
         self.block_order = block_order
         self.block_exec = block_exec_from_env() if block_exec is None else block_exec
+        self.collect_counters = collect_counters
         self.env: Dict[str, Any] = {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.launches: List[LaunchRecord] = []
@@ -1094,15 +1138,25 @@ class HostInterpreter:
             if isinstance(a, np.ndarray)
         )
         scalar_args = tuple(a for a in args if not isinstance(a, np.ndarray))
-        self.launches.append(LaunchRecord(stmt.kernel, grid, block, array_args, scalar_args))
+        counters = (
+            KernelCounters(kernel=stmt.kernel)
+            if self.collect_counters and self.execute_kernels
+            else None
+        )
+        self.launches.append(
+            LaunchRecord(
+                stmt.kernel, grid, block, array_args, scalar_args, counters=counters
+            )
+        )
         if not self.execute_kernels:
             return
         executor = _KernelExec(
             kernel, grid, block, args, self.arrays, self.detect_races,
-            self.block_order, self.block_exec,
+            self.block_order, self.block_exec, counters=counters,
         )
         try:
-            executor.run()
+            with span(f"interp:{stmt.kernel}", grid=grid.count):
+                executor.run()
         except _ReturnSignal:
             pass
 
@@ -1187,13 +1241,15 @@ def launch_kernel(
     detect_races: bool = False,
     block_order: str = "forward",
     block_exec: Optional[str] = None,
+    counters: Optional[KernelCounters] = None,
 ) -> None:
     """Execute a single kernel launch against caller-provided arguments.
 
     Device arrays are passed (and mutated) in place as numpy arrays in
     ``args``, in kernel-parameter order.  This is the entry point for the
     per-group verification gate, which replays individual kernels outside
-    any host program.
+    any host program.  Pass a :class:`KernelCounters` to have the launch's
+    memory/sync/divergence events tallied into it.
     """
     executor = _KernelExec(
         kernel,
@@ -1204,6 +1260,7 @@ def launch_kernel(
         detect_races,
         block_order,
         block_exec_from_env() if block_exec is None else block_exec,
+        counters=counters,
     )
     try:
         executor.run()
@@ -1216,6 +1273,7 @@ def run_program(
     detect_races: bool = False,
     block_order: str = "forward",
     block_exec: Optional[str] = None,
+    collect_counters: bool = False,
 ) -> RunResult:
     """Execute ``program`` on the simulator and return final device arrays."""
     return HostInterpreter(
@@ -1223,6 +1281,7 @@ def run_program(
         detect_races=detect_races,
         block_order=block_order,
         block_exec=block_exec,
+        collect_counters=collect_counters,
     ).run()
 
 

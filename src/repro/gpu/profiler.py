@@ -10,6 +10,7 @@ contents the paper's shell script would scrape from the profiler output.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -24,13 +25,25 @@ from ..analysis.stencil import analyze_stencil
 from ..analysis.volume import bind_scalars, estimate_volume
 from ..cudalite import ast_nodes as ast
 from ..errors import AnalysisError
+from ..observability.metrics import get_registry
 from .device import DeviceSpec
 from .interpreter import LaunchRecord, trace_launches
 from .perfmodel import CodegenTraits, estimate_registers, project_kernel
 
+logger = logging.getLogger(__name__)
+
 
 def declared_shared_bytes(kernel: ast.KernelDef) -> int:
-    """Total bytes of ``__shared__`` arrays declared by the kernel."""
+    """Total bytes of ``__shared__`` arrays declared by the kernel.
+
+    Non-constant shared dims are rejected by semantic checking, but a
+    kernel that slips through would otherwise have its shared footprint
+    silently undercounted (the dim treated as one element) — which skews
+    occupancy projections and the paper's Eq. 1 shared-memory penalty.
+    We still use the conservative one-element fallback, but loudly:
+    a warning is logged and ``metadata_warnings_total`` is incremented so
+    the condition surfaces in the run's metrics.
+    """
     total = 0
     for node in kernel.body.walk():
         if isinstance(node, ast.VarDecl) and node.is_shared:
@@ -38,8 +51,18 @@ def declared_shared_bytes(kernel: ast.KernelDef) -> int:
             for dim in node.array_dims:
                 if isinstance(dim, ast.IntLit):
                     elems *= dim.value
-                else:  # non-constant dims are rejected by semantics; be safe
-                    elems *= 1
+                else:
+                    logger.warning(
+                        "kernel %s: shared array %s has non-constant dim; "
+                        "counting it as 1 element (footprint undercounted)",
+                        kernel.name,
+                        node.name,
+                    )
+                    get_registry().inc(
+                        "metadata_warnings_total",
+                        kind="nonconstant_shared_dim",
+                        kernel=kernel.name,
+                    )
             total += elems * node.type.itemsize
     return total
 

@@ -1,0 +1,70 @@
+"""End-to-end observability for the transformation pipeline.
+
+Five cooperating pieces, all zero-dependency and all behind one global
+switch (``REPRO_TELEMETRY`` / :func:`set_telemetry_enabled`):
+
+* :mod:`~repro.observability.metrics` — a thread-safe, process-pool-
+  mergeable registry of counters / gauges / histograms with Prometheus
+  and JSON exporters;
+* :mod:`~repro.observability.tracing` — hierarchical spans exported as a
+  Chrome trace-event file (Perfetto-loadable ``trace.json``);
+* :mod:`~repro.observability.hwcounters` — per-launch interpreter
+  counters (global/shared loads & stores, ``__syncthreads()``, branch
+  divergence);
+* :mod:`~repro.observability.search_telemetry` — the GGA's
+  per-generation ``search_telemetry.jsonl`` record;
+* :mod:`~repro.observability.runinfo` /
+  :mod:`~repro.observability.model_validation` — the ``run.json``
+  manifest and the counters-vs-perf-model validation report.
+"""
+
+from .hwcounters import KernelCounters, aggregate_counters
+from .metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    reset_registry,
+)
+from .model_validation import ModelValidationReport, validate_model
+from .runinfo import build_run_manifest, env_knobs, git_sha, write_run_manifest
+from .runtime import (
+    ENV_TELEMETRY,
+    set_telemetry_enabled,
+    telemetry,
+    telemetry_enabled,
+    telemetry_enabled_from_env,
+)
+from .search_telemetry import (
+    read_jsonl,
+    search_telemetry_rows,
+    write_jsonl,
+)
+from .tracing import SpanRecord, Tracer, get_tracer, reset_tracer, span
+
+__all__ = [
+    "ENV_TELEMETRY",
+    "KernelCounters",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ModelValidationReport",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_counters",
+    "build_run_manifest",
+    "env_knobs",
+    "get_registry",
+    "get_tracer",
+    "git_sha",
+    "read_jsonl",
+    "reset_registry",
+    "reset_tracer",
+    "search_telemetry_rows",
+    "set_telemetry_enabled",
+    "span",
+    "telemetry",
+    "telemetry_enabled",
+    "telemetry_enabled_from_env",
+    "validate_model",
+    "write_jsonl",
+    "write_run_manifest",
+]

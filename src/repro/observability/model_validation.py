@@ -1,0 +1,164 @@
+"""Model validation: interpreter counters vs. perf-model projections.
+
+The analytic performance model (:mod:`repro.gpu.perfmodel`) *projects*
+bytes moved and flops per kernel; the interpreter's hardware-ish counters
+(:mod:`repro.observability.hwcounters`) *measure* the accesses actually
+executed.  This module lines the two up per executed kernel launch and
+emits the comparison the tuning-strategy literature does with real
+hardware counters — the data needed to decide whether a projected speedup
+can be trusted.
+
+The interesting quantity is the ratio ``projected_bytes /
+measured_bytes``: the model charges cache/halo redundancy factors on top
+of the raw access counts, so a ratio far below 1.0 means the model is
+*under*-charging traffic for that kernel (its projected time is
+optimistic), and a wildly large one means the redundancy model
+over-penalizes it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class KernelValidation:
+    """One launch: measured counters next to the model's projection."""
+
+    index: int
+    kernel: str
+    measured: Dict[str, object]
+    measured_global_bytes: int
+    projected_bytes: float
+    projected_flops: float
+    projected_time_s: float
+    occupancy: float
+    limiter: str
+
+    @property
+    def bytes_ratio(self) -> Optional[float]:
+        """projected / measured global traffic (None when unmeasurable)."""
+        if self.measured_global_bytes <= 0:
+            return None
+        return self.projected_bytes / self.measured_global_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "kernel": self.kernel,
+            "measured": self.measured,
+            "measured_global_bytes": self.measured_global_bytes,
+            "projected_bytes": self.projected_bytes,
+            "projected_flops": self.projected_flops,
+            "projected_time_s": self.projected_time_s,
+            "occupancy": self.occupancy,
+            "limiter": self.limiter,
+            "bytes_ratio": self.bytes_ratio,
+        }
+
+
+@dataclass
+class ModelValidationReport:
+    """Per-launch validations plus aggregate agreement figures."""
+
+    kernels: List[KernelValidation] = field(default_factory=list)
+    #: launches the comparison could not cover (count mismatch, no counters)
+    uncompared: int = 0
+
+    @property
+    def total_measured_bytes(self) -> int:
+        return sum(k.measured_global_bytes for k in self.kernels)
+
+    @property
+    def total_projected_bytes(self) -> float:
+        return sum(k.projected_bytes for k in self.kernels)
+
+    @property
+    def aggregate_bytes_ratio(self) -> Optional[float]:
+        if self.total_measured_bytes <= 0:
+            return None
+        return self.total_projected_bytes / self.total_measured_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kernels": [k.as_dict() for k in self.kernels],
+            "uncompared": self.uncompared,
+            "total_measured_bytes": self.total_measured_bytes,
+            "total_projected_bytes": self.total_projected_bytes,
+            "aggregate_bytes_ratio": self.aggregate_bytes_ratio,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"model validation over {len(self.kernels)} kernel launches "
+            f"({self.uncompared} uncompared)"
+        ]
+        for k in self.kernels:
+            ratio = k.bytes_ratio
+            ratio_s = f"{ratio:.2f}x" if ratio is not None else "n/a"
+            lines.append(
+                f"  [{k.index}] {k.kernel}: measured {k.measured_global_bytes} B "
+                f"global, projected {k.projected_bytes:.0f} B "
+                f"(ratio {ratio_s}, {k.limiter}-bound, occ {k.occupancy:.2f})"
+            )
+        agg = self.aggregate_bytes_ratio
+        if agg is not None:
+            lines.append(f"  aggregate projected/measured bytes: {agg:.2f}x")
+        return "\n".join(lines)
+
+
+def validate_model(
+    launches: Sequence[object],
+    projections: Sequence[object],
+) -> ModelValidationReport:
+    """Match counted launches against per-kernel projections by name.
+
+    ``launches`` are :class:`~repro.gpu.interpreter.LaunchRecord` objects
+    carrying ``counters`` (launches without counters are skipped and
+    tallied as uncompared); ``projections`` are
+    :class:`~repro.gpu.perfmodel.KernelProjection` objects, one per launch
+    *site*.  A host time loop executes each site many times, so launches
+    are matched to same-named projections round-robin: the N-th recorded
+    launch of kernel ``k`` gets projection ``k[N mod sites(k)]``.
+    Launches whose kernel has no projection are tallied as uncompared.
+    """
+    report = ModelValidationReport()
+    by_name: Dict[str, List[object]] = {}
+    for proj in projections:
+        name = str(getattr(proj, "kernel_name", "?"))
+        by_name.setdefault(name, []).append(proj)
+    cursor: Dict[str, int] = {}
+    for i, launch in enumerate(launches):
+        counters = getattr(launch, "counters", None)
+        if counters is None:
+            report.uncompared += 1
+            continue
+        name = counters.kernel or str(getattr(launch, "kernel", "?"))
+        candidates = by_name.get(name)
+        if not candidates:
+            report.uncompared += 1
+            continue
+        seen = cursor.get(name, 0)
+        proj = candidates[seen % len(candidates)]
+        cursor[name] = seen + 1
+        report.kernels.append(
+            KernelValidation(
+                index=i,
+                kernel=name,
+                measured=counters.as_dict(),
+                measured_global_bytes=counters.global_bytes,
+                projected_bytes=float(proj.bytes_total),
+                projected_flops=float(proj.flops),
+                projected_time_s=float(proj.time_s),
+                occupancy=float(proj.occupancy),
+                limiter=str(proj.limiter),
+            )
+        )
+    return report

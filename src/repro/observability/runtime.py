@@ -1,0 +1,57 @@
+"""Global on/off switch for the observability layer.
+
+Every recording primitive (metric increment, span, telemetry row) checks
+one module-level boolean before doing any work, so a disabled pipeline
+run pays a single attribute load and branch per call site — the
+"near-zero-overhead no-op path" the pipeline promises under
+``--no-telemetry``.
+
+The switch is resolved once at import from ``REPRO_TELEMETRY`` (default
+enabled; ``0`` / ``false`` / ``off`` / ``no`` disable) and can be flipped
+programmatically with :func:`set_telemetry_enabled` (the CLI's
+``--no-telemetry`` flag, tests' overhead guard).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+ENV_TELEMETRY = "REPRO_TELEMETRY"
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def telemetry_enabled_from_env(default: bool = True) -> bool:
+    """Resolve the telemetry switch from the environment."""
+    raw = os.environ.get(ENV_TELEMETRY)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+_enabled: bool = telemetry_enabled_from_env()
+
+
+def telemetry_enabled() -> bool:
+    """Is the observability layer recording?"""
+    return _enabled
+
+
+def set_telemetry_enabled(enabled: bool) -> None:
+    """Flip the global recording switch (CLI ``--no-telemetry``, tests)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def telemetry(enabled: bool) -> Iterator[None]:
+    """Scoped override of the switch (restores the previous value)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -1,0 +1,98 @@
+"""Search telemetry: the GGA's machine-readable trajectory.
+
+The search stage's prose report ("converged at generation 12") is for
+humans; this module persists the underlying per-generation record as
+``search_telemetry.jsonl`` — one JSON object per line, one line per GGA
+generation, plus a trailing summary row — so convergence behaviour,
+penalty pressure, cache effectiveness and degradation counts can be
+plotted and regression-tracked across runs.
+
+Row schema (``type == "generation"``)::
+
+    generation, best_fitness, best_feasible_fitness, mean_fitness,
+    std_fitness, feasible_count, penalty_activations, fissions,
+    cache_hits, cache_lookups, evaluations, worker_failures,
+    eval_timeouts, fallback_evaluations
+
+The cumulative evaluator counters (``cache_hits`` …) are sampled at the
+end of each generation, so per-generation deltas are recoverable by
+differencing consecutive rows.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+def generation_row(stats: object) -> Dict[str, object]:
+    """One JSONL row from a :class:`~repro.search.gga.GenerationStats`."""
+
+    def clean(value: float) -> Optional[float]:
+        return None if isinstance(value, float) and math.isnan(value) else value
+
+    return {
+        "type": "generation",
+        "generation": stats.generation,
+        "best_fitness": clean(stats.best_fitness),
+        "best_feasible_fitness": clean(stats.best_feasible_fitness),
+        "mean_fitness": clean(stats.mean_fitness),
+        "std_fitness": clean(stats.std_fitness),
+        "feasible_count": stats.feasible_count,
+        "penalty_activations": stats.penalty_activations,
+        "fissions": stats.fissions,
+        "cache_hits": stats.cache_hits,
+        "cache_lookups": stats.cache_lookups,
+        "evaluations": stats.evaluations,
+        "worker_failures": stats.worker_failures,
+        "eval_timeouts": stats.eval_timeouts,
+        "fallback_evaluations": stats.fallback_evaluations,
+    }
+
+
+def search_summary_row(result: object, cache_invalid: int = 0) -> Dict[str, object]:
+    """Trailing summary row from a :class:`~repro.search.gga.SearchResult`."""
+    return {
+        "type": "search_summary",
+        "generations_run": result.generations_run,
+        "converged_at": result.converged_at,
+        "best_fitness": result.best_fitness,
+        "projected_time_s": result.projected_time_s,
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "fitness_lookups": result.fitness_lookups,
+        "cache_hit_rate": result.cache_hit_rate,
+        "cache_poisoned_reads": cache_invalid,
+        "avg_fissions_per_generation": result.avg_fissions_per_generation,
+        "fused_group_count": result.fused_group_count,
+        "new_kernel_count": result.new_kernel_count,
+    }
+
+
+def search_telemetry_rows(
+    result: object, cache_invalid: int = 0
+) -> List[Dict[str, object]]:
+    """Full JSONL payload for one search: generation rows + summary."""
+    rows = [generation_row(stats) for stats in result.history]
+    rows.append(search_summary_row(result, cache_invalid=cache_invalid))
+    return rows
+
+
+def write_jsonl(path: str, rows: Iterable[Dict[str, object]], append: bool = False) -> None:
+    """Write (or append) rows as JSON Lines."""
+    with open(path, "a" if append else "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL file (schema checks, tests)."""
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -38,6 +38,8 @@ from ..gpu.perfmodel import (
     project_kernel,
 )
 from ..analysis.volume import estimate_volume
+from ..observability.metrics import get_registry
+from ..observability.tracing import span
 from ..reliability import faults
 from ..reliability.degrade import DemotionRecord, fusion_waves
 from ..reliability.verify import GroupVerdict, VerifyConfig, verify_group
@@ -234,6 +236,14 @@ def materialize(
         the group cannot be realized at this ladder level — the caller
         demotes it.
         """
+        with span(f"codegen:group:{name}", members=len(members)):
+            return _build_verified_inner(name, members, precedence)
+
+    def _build_verified_inner(
+        name: str,
+        members: Sequence[str],
+        precedence: Sequence[Tuple[int, int, str]],
+    ) -> Tuple[FusedKernel, Optional[TuningDecision], GroupVerdict]:
         for node in members:
             faults.check("parse", f"re-parsing constituent {node}")
         constituents = [_constituent(bindings[n]) for n in members]
@@ -277,9 +287,11 @@ def materialize(
         member_bindings = [bindings[n] for n in members]
         compare = written_arrays(members)
         candidate = tuned if tuned is not None else fused
-        verdict = verify_group(
-            candidate, member_bindings, array_shapes, compare, verify_cfg
-        )
+        with span("verify:group", kernel=name):
+            verdict = verify_group(
+                candidate, member_bindings, array_shapes, compare, verify_cfg
+            )
+        get_registry().inc("verify_group_verdicts_total", status=verdict.status)
         if verdict.failed and tuned is not None:
             # the tuned regeneration broke the kernel; fall back to the
             # verified-able untuned block and drop the tuning decision

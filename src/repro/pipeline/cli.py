@@ -12,10 +12,16 @@ import logging
 import sys
 from pathlib import Path
 
+from typing import Dict, Optional
+
 from ..cudalite.parser import parse_program
 from ..cudalite.unparser import unparse
-from ..errors import ReproError
+from ..errors import PipelineError, ReproError
 from ..gpu.device import available_devices, query_device
+from ..observability.metrics import get_registry
+from ..observability.runinfo import build_run_manifest, write_run_manifest
+from ..observability.runtime import set_telemetry_enabled, telemetry_enabled
+from ..observability.tracing import get_tracer
 from ..search.params import GAParams, fast_params
 from .framework import Framework
 from .stages import STAGES, PipelineConfig
@@ -97,7 +103,102 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=12345, help="GA random seed"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write end-of-run metrics here (JSON, or Prometheus text when "
+            "the path ends in .prom)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event file (Perfetto-loadable) here",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help=(
+            "disable metrics, tracing, search telemetry and run.json "
+            "(equivalent to REPRO_TELEMETRY=0)"
+        ),
+    )
     return parser
+
+
+def _config_dict(args) -> Dict[str, object]:
+    """The resolved CLI configuration, for the run manifest."""
+    return {
+        "device": args.device,
+        "mode": args.mode,
+        "until": args.until,
+        "workdir": args.workdir,
+        "seed": args.seed,
+        "ga_params_file": args.ga_params,
+        "exclude": list(args.exclude),
+        "no_filter": args.no_filter,
+        "no_fission": args.no_fission,
+        "no_tuning": args.no_tuning,
+        "no_verify": args.no_verify,
+        "no_group_verify": args.no_group_verify,
+        "fail_hard": args.fail_hard,
+    }
+
+
+def _write_telemetry_outputs(
+    args,
+    framework: Optional[Framework],
+    exit_code: int,
+    error: Optional[Dict[str, object]],
+) -> None:
+    """Persist run.json (+ optional metrics/trace files) for this run.
+
+    Runs on success *and* on the exit-code-2 path, so failed runs leave a
+    machine-readable diagnostic; skipped entirely under ``--no-telemetry``.
+    """
+    if not telemetry_enabled():
+        return
+    if not (args.workdir or args.metrics_out or args.trace_out):
+        # no working directory and no explicit telemetry destinations:
+        # don't surprise the caller with a run.json in their cwd
+        return
+    state = framework.state if framework is not None else None
+    speedup = None
+    verified = None
+    demotions = 0
+    if state is not None:
+        verified = state.verified
+        if state.transform is not None:
+            demotions = len(state.transform.demotions)
+            try:
+                speedup = state.speedup
+            except PipelineError:
+                speedup = None
+    run_dir = Path(args.workdir) if args.workdir else Path(".")
+    run_dir.mkdir(parents=True, exist_ok=True)
+    manifest = build_run_manifest(
+        source=args.source,
+        config=_config_dict(args),
+        stage_times=framework.stage_times if framework is not None else {},
+        reports=dict(state.reports) if state is not None else {},
+        speedup=speedup,
+        verified=verified,
+        demotions=demotions,
+        exit_code=exit_code,
+        error=error,
+    )
+    write_run_manifest(str(run_dir / "run.json"), manifest)
+    if args.metrics_out:
+        registry = get_registry()
+        if args.metrics_out.endswith(".prom"):
+            registry.write_prometheus(args.metrics_out)
+        else:
+            registry.write_json(args.metrics_out)
+    if args.trace_out:
+        get_tracer().write(args.trace_out)
 
 
 def main(argv=None) -> int:
@@ -106,6 +207,18 @@ def main(argv=None) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(levelname)s %(name)s: %(message)s",
     )
+    if not args.no_telemetry:
+        return _main(args)
+    previous = telemetry_enabled()
+    set_telemetry_enabled(False)
+    try:
+        return _main(args)
+    finally:
+        set_telemetry_enabled(previous)
+
+
+def _main(args) -> int:
+    framework: Optional[Framework] = None
     try:
         source = Path(args.source).read_text()
         program = parse_program(source)
@@ -137,8 +250,23 @@ def main(argv=None) -> int:
             f"repro-transform: {type(exc).__name__}{stage}: {exc}",
             file=sys.stderr,
         )
+        _write_telemetry_outputs(
+            args,
+            framework,
+            exit_code=2,
+            error={
+                "type": type(exc).__name__,
+                "stage": exc.stage,
+                "message": str(exc),
+            },
+        )
         return 2
-    print(framework.report())
+    report = framework.report()
+    print(report)
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        (workdir / "report.txt").write_text(report + "\n")
 
     if args.until in (None, "codegen") and state.transform is not None:
         output = unparse(state.transform.program)
@@ -147,6 +275,7 @@ def main(argv=None) -> int:
             print(f"transformed program written to {args.output}")
         else:
             print(output)
+    _write_telemetry_outputs(args, framework, exit_code=0, error=None)
     return 0
 
 

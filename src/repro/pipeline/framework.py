@@ -22,11 +22,14 @@ Example
 from __future__ import annotations
 
 import logging
+import time
 from typing import Callable, Dict, List, Optional
 
 from ..cudalite import ast_nodes as ast
 from ..cudalite.parser import parse_program
 from ..errors import PipelineError, ReproError
+from ..observability.metrics import get_registry
+from ..observability.tracing import span
 from .stages import (
     STAGE_FUNCTIONS,
     STAGES,
@@ -52,6 +55,8 @@ class Framework:
         self.state = PipelineState(program=program, config=config or PipelineConfig())
         self._interventions: Dict[str, List[Intervention]] = {s: [] for s in STAGES}
         self._completed: List[str] = []
+        #: wall time per completed stage, in execution order (telemetry)
+        self.stage_times: Dict[str, float] = {}
 
     # ------------------------------------------------------------ intervention
 
@@ -78,12 +83,15 @@ class Framework:
         if stage not in STAGES:
             raise PipelineError(f"unknown stage {stage!r}; stages: {STAGES}")
         logger.info("running stage %s", stage)
+        start = time.perf_counter()
         try:
-            self.state = STAGE_FUNCTIONS[stage](self.state)
+            with span(f"stage:{stage}"):
+                self.state = STAGE_FUNCTIONS[stage](self.state)
         except ReproError as exc:
             if exc.stage is None:
                 exc.stage = stage
             logger.error("stage %s failed: %s", stage, exc)
+            self._record_stage_time(stage, time.perf_counter() - start, failed=True)
             raise
         for callback in self._interventions[stage]:
             replacement = callback(self.state)
@@ -91,8 +99,21 @@ class Framework:
                 self.state = replacement
         if stage not in self._completed:
             self._completed.append(stage)
+        self._record_stage_time(stage, time.perf_counter() - start)
         logger.info("stage %s complete: %s", stage, self.state.reports.get(stage, ""))
         return self.state
+
+    def _record_stage_time(
+        self, stage: str, elapsed: float, failed: bool = False
+    ) -> None:
+        self.stage_times[stage] = self.stage_times.get(stage, 0.0) + elapsed
+        registry = get_registry()
+        registry.observe("pipeline_stage_seconds", elapsed, stage=stage)
+        registry.inc(
+            "pipeline_stage_runs_total",
+            stage=stage,
+            outcome="failed" if failed else "ok",
+        )
 
     def run(
         self,

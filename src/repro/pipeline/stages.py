@@ -40,6 +40,10 @@ from ..graphs import (
     validate_ddg,
     validate_oeg,
 )
+from ..observability.metrics import get_registry
+from ..observability.model_validation import validate_model
+from ..observability.runtime import telemetry_enabled
+from ..observability.search_telemetry import search_telemetry_rows, write_jsonl
 from ..reliability.degrade import DemotionRecord
 from ..reliability.verify import VerifyConfig
 from ..search import (
@@ -255,6 +259,16 @@ def stage_search(state: PipelineState) -> PipelineState:
         + search_note
     )
     state._persist("search.txt", state.reports["search"])
+    if telemetry_enabled() and state.config.workdir is not None:
+        from ..search.fitness_cache import get_shared_cache
+
+        Path(state.config.workdir).mkdir(parents=True, exist_ok=True)
+        write_jsonl(
+            str(Path(state.config.workdir) / "search_telemetry.jsonl"),
+            search_telemetry_rows(
+                result, cache_invalid=get_shared_cache().stats.invalid
+            ),
+        )
     return state
 
 
@@ -346,8 +360,14 @@ def stage_codegen(state: PipelineState) -> PipelineState:
     state.transformed_projection = project_transformed(
         state.transform, state.built.problem, state.config.device
     )
+    validation_note = _model_validation(state)
     tuned = [t for t in state.transform.tuning if t.changed]
     demotions = state.transform.demotions
+    registry = get_registry()
+    for d in demotions:
+        registry.inc(
+            "demotions_total", **{"from": d.from_level, "to": d.to_level}
+        )
     demotion_note = ""
     if demotions:
         demotion_note = f"; {len(demotions)} demotions:\n" + "\n".join(
@@ -362,10 +382,60 @@ def stage_codegen(state: PipelineState) -> PipelineState:
         + ("; output verified" if state.verified else "")
         + codegen_note
         + demotion_note
+        + validation_note
     )
     state._persist("transformed.cu", unparse(state.transform.program))
     state._persist("codegen.txt", state.reports["codegen"])
+    if telemetry_enabled() and state.config.workdir is not None:
+        telemetry_path = Path(state.config.workdir) / "search_telemetry.jsonl"
+        if telemetry_path.exists():
+            write_jsonl(
+                str(telemetry_path),
+                [
+                    {
+                        "type": "codegen_summary",
+                        "demotions": len(demotions),
+                        "degraded_groups": len(state.transform.degraded_groups),
+                        "verified": state.verified,
+                        "speedup": state.speedup,
+                    }
+                ],
+                append=True,
+            )
     return state
+
+
+def _model_validation(state: PipelineState) -> str:
+    """Compare interpreter counters against the perf model's projections.
+
+    Re-runs the transformed program with hardware-ish counters enabled and
+    lines every launch up with its :class:`KernelProjection`.  Gated on
+    telemetry + a working directory (the extra interpreted run is not free,
+    so library users and benchmarks that set neither never pay for it).
+    Returns a one-line note for the codegen report ("" when skipped).
+    """
+    if not (telemetry_enabled() and state.config.workdir is not None):
+        return ""
+    assert state.transform is not None and state.transformed_projection is not None
+    try:
+        counted = run_program(state.transform.program, collect_counters=True)
+    except ReproError as exc:  # pragma: no cover - counted rerun is best effort
+        logger.warning("model-validation run failed: %s", exc)
+        return ""
+    report = validate_model(
+        counted.launches, state.transformed_projection.kernels
+    )
+    report.write_json(str(Path(state.config.workdir) / "model_validation.json"))
+    state._persist("model_validation.txt", report.summary() + "\n")
+    registry = get_registry()
+    registry.inc("model_validation_kernels_total", len(report.kernels))
+    ratio = report.aggregate_bytes_ratio
+    if ratio is not None:
+        registry.set_gauge("model_validation_bytes_ratio", ratio)
+    return (
+        f"; model validation: {len(report.kernels)} launches compared"
+        + (f", projected/measured bytes {ratio:.2f}x" if ratio is not None else "")
+    )
 
 
 STAGE_FUNCTIONS = {

@@ -15,6 +15,8 @@ from typing import List, Optional, Tuple
 
 from ..errors import SearchError
 from ..gpu.device import DeviceSpec
+from ..observability.metrics import get_registry
+from ..observability.tracing import span
 from .fitness_cache import (
     FitnessCache,
     NullCache,
@@ -41,7 +43,14 @@ from .params import GAParams
 
 @dataclass
 class GenerationStats:
-    """Per-generation statistics."""
+    """Per-generation statistics.
+
+    Beyond the paper's fitness trajectory, each row samples the
+    penalty-pressure and evaluator health counters that feed
+    ``search_telemetry.jsonl``.  The ``cache_*`` / ``evaluations`` /
+    failure counters are *cumulative* evaluator totals at the end of the
+    generation (difference consecutive rows for per-generation deltas).
+    """
 
     generation: int
     best_fitness: float
@@ -49,6 +58,16 @@ class GenerationStats:
     mean_fitness: float
     fissions: int
     feasible_count: int
+    #: population fitness standard deviation (diversity signal)
+    std_fitness: float = 0.0
+    #: evaluations this generation whose Eq. 1 penalty term fired
+    penalty_activations: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    evaluations: int = 0
+    worker_failures: int = 0
+    eval_timeouts: int = 0
+    fallback_evaluations: int = 0
 
 
 @dataclass
@@ -179,68 +198,98 @@ class GGA:
             params.mutate_fission,
         )
 
+        registry = get_registry()
         generations_run = 0
         for generation in range(params.generations):
             generations_run = generation + 1
-            evaluated = self.evaluator.evaluate_many(population)
-            fitnesses = [f for f, _ in evaluated]
-            improved = False
-            feasible_count = 0
-            for ind, (fitness, violations) in zip(population, evaluated):
-                if fitness > best_fitness:
-                    best, best_fitness = ind, fitness
-                if violations.feasible:
-                    feasible_count += 1
-                    if fitness > best_feasible_fitness:
-                        best_feasible, best_feasible_fitness = ind, fitness
-                        improved = True
-            stall = 0 if improved else stall + 1
+            with span(f"gga:gen:{generation}") as gen_span:
+                with span("eval", batch="population", size=len(population)):
+                    evaluated = self.evaluator.evaluate_many(population)
+                fitnesses = [f for f, _ in evaluated]
+                improved = False
+                feasible_count = 0
+                penalty_activations = 0
+                for ind, (fitness, violations) in zip(population, evaluated):
+                    if fitness > best_fitness:
+                        best, best_fitness = ind, fitness
+                    if violations.feasible:
+                        feasible_count += 1
+                        if fitness > best_feasible_fitness:
+                            best_feasible, best_feasible_fitness = ind, fitness
+                            improved = True
+                    else:
+                        penalty_activations += 1
+                stall = 0 if improved else stall + 1
 
-            fissions_this_gen = 0
-            # next generation
-            ranked = sorted(
-                range(len(population)), key=lambda i: fitnesses[i], reverse=True
-            )
-            next_pop: List[Grouping] = [
-                population[i] for i in ranked[: params.elitism]
-            ]
-            # breed the full offspring batch first (sequential: consumes the
-            # rng stream), then evaluate it in one parallel, memoized sweep;
-            # lazy fission repairs fire on the offspring stuck at the
-            # shared-memory boundary
-            offspring: List[Grouping] = []
-            while len(next_pop) + len(offspring) < params.population:
-                parent_a = self._tournament(population, fitnesses)
-                if self.rng.random() < params.crossover_rate:
-                    parent_b = self._tournament(population, fitnesses)
-                    child = crossover(self.problem, parent_a, parent_b, self.rng)
-                else:
-                    child = parent_a
-                child = mutate(self.problem, child, self.rng, mutation_rates)
-                offspring.append(child)
-            child_results = self.evaluator.evaluate_many(offspring)
-            for child, (_, violations) in zip(offspring, child_results):
-                if violations.smem_over > 0:
-                    child, fissions = lazy_fission_repair(
-                        self.problem, child, self.rng
-                    )
-                    fissions_this_gen += fissions
-                next_pop.append(child)
-
-            history.append(
-                GenerationStats(
-                    generation=generation,
-                    best_fitness=best_fitness,
-                    best_feasible_fitness=(
-                        best_feasible_fitness
-                        if best_feasible is not None
-                        else float("nan")
-                    ),
-                    mean_fitness=sum(fitnesses) / len(fitnesses),
-                    fissions=fissions_this_gen,
-                    feasible_count=feasible_count,
+                fissions_this_gen = 0
+                # next generation
+                ranked = sorted(
+                    range(len(population)), key=lambda i: fitnesses[i], reverse=True
                 )
-            )
+                next_pop: List[Grouping] = [
+                    population[i] for i in ranked[: params.elitism]
+                ]
+                # breed the full offspring batch first (sequential: consumes the
+                # rng stream), then evaluate it in one parallel, memoized sweep;
+                # lazy fission repairs fire on the offspring stuck at the
+                # shared-memory boundary
+                offspring: List[Grouping] = []
+                while len(next_pop) + len(offspring) < params.population:
+                    parent_a = self._tournament(population, fitnesses)
+                    if self.rng.random() < params.crossover_rate:
+                        parent_b = self._tournament(population, fitnesses)
+                        child = crossover(self.problem, parent_a, parent_b, self.rng)
+                    else:
+                        child = parent_a
+                    child = mutate(self.problem, child, self.rng, mutation_rates)
+                    offspring.append(child)
+                with span("eval", batch="offspring", size=len(offspring)):
+                    child_results = self.evaluator.evaluate_many(offspring)
+                for child, (_, violations) in zip(offspring, child_results):
+                    if not violations.feasible:
+                        penalty_activations += 1
+                    if violations.smem_over > 0:
+                        child, fissions = lazy_fission_repair(
+                            self.problem, child, self.rng
+                        )
+                        fissions_this_gen += fissions
+                    next_pop.append(child)
+
+                mean_fitness = sum(fitnesses) / len(fitnesses)
+                std_fitness = (
+                    sum((f - mean_fitness) ** 2 for f in fitnesses) / len(fitnesses)
+                ) ** 0.5
+                history.append(
+                    GenerationStats(
+                        generation=generation,
+                        best_fitness=best_fitness,
+                        best_feasible_fitness=(
+                            best_feasible_fitness
+                            if best_feasible is not None
+                            else float("nan")
+                        ),
+                        mean_fitness=mean_fitness,
+                        fissions=fissions_this_gen,
+                        feasible_count=feasible_count,
+                        std_fitness=std_fitness,
+                        penalty_activations=penalty_activations,
+                        cache_hits=self.evaluator.cache_hits,
+                        cache_lookups=self.evaluator.lookups,
+                        evaluations=self.evaluator.evaluations,
+                        worker_failures=self.evaluator.worker_failures,
+                        eval_timeouts=self.evaluator.timeouts,
+                        fallback_evaluations=self.evaluator.fallback_evaluations,
+                    )
+                )
+                registry.inc("gga_generations_total")
+                registry.inc("gga_penalty_activations_total", penalty_activations)
+                registry.inc("gga_fissions_total", fissions_this_gen)
+                registry.set_gauge("gga_best_fitness", best_fitness)
+                gen_span.set(
+                    best=best_fitness,
+                    feasible=feasible_count,
+                    penalties=penalty_activations,
+                )
             population = next_pop
             if params.stall_generations and stall >= params.stall_generations:
                 break

@@ -59,6 +59,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.device import DeviceSpec
+from ..observability.metrics import MetricsSnapshot, get_registry
 from ..reliability import faults
 from .fitness_cache import (
     FitnessCache,
@@ -158,6 +159,23 @@ def _process_evaluate(individual: Grouping) -> EvalResult:
     )
 
 
+def _process_evaluate_metered(
+    individual: Grouping,
+) -> Tuple[EvalResult, MetricsSnapshot]:
+    """Process-pool entry that ships the worker's metrics home.
+
+    Any metrics the evaluation records in the *worker's* registry (e.g.
+    ``metadata_warnings_total`` from profiling) would otherwise die with
+    the pool; snapshot-and-clear after each evaluation lets the parent
+    merge them into its own registry without double counting.
+    """
+    result = _process_evaluate(individual)
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    registry.clear()
+    return result, snapshot
+
+
 # ------------------------------------------------------------------ evaluator
 
 
@@ -225,6 +243,8 @@ class PopulationEvaluator:
         self.cache_hits = 0
         #: worker evaluations that timed out or errored and were retried
         self.worker_failures = 0
+        #: the subset of ``worker_failures`` that were timeouts
+        self.timeouts = 0
         #: individuals ultimately computed by the in-process fallback
         self.fallback_evaluations = 0
         self._executor: Optional[Executor] = None
@@ -328,7 +348,7 @@ class PopulationEvaluator:
                 self._mark_pool_broken(f"failed to start: {exc}")
                 break
             is_process = isinstance(executor, ProcessPoolExecutor)
-            fn = _process_evaluate if is_process else self._compute_in_worker
+            fn = _process_evaluate_metered if is_process else self._compute_in_worker
             try:
                 futures = [
                     (i, executor.submit(fn, pending[i][1])) for i in todo
@@ -342,12 +362,16 @@ class PopulationEvaluator:
                     result = future.result(timeout=self.timeout)
                     if is_process:
                         self.evaluations += 1
+                        result, snapshot = result
+                        get_registry().merge(snapshot)
                     results[i] = result
                 except BrokenExecutor as exc:
                     self._mark_pool_broken(f"worker died: {exc}")
                     retry.append(i)
                 except FuturesTimeoutError:
                     self.worker_failures += 1
+                    self.timeouts += 1
+                    get_registry().inc("search_eval_timeouts_total")
                     logger.warning(
                         "evaluation of individual %d timed out after %ss "
                         "(attempt %d/%d)",
@@ -359,6 +383,7 @@ class PopulationEvaluator:
                     retry.append(i)
                 except Exception as exc:
                     self.worker_failures += 1
+                    get_registry().inc("search_worker_failures_total")
                     logger.warning(
                         "worker evaluation of individual %d failed "
                         "(attempt %d/%d): %s",
@@ -372,6 +397,7 @@ class PopulationEvaluator:
         for i in todo:
             # deterministic last resort: compute in-process, no seams
             self.fallback_evaluations += 1
+            get_registry().inc("search_fallback_evaluations_total")
             results[i] = self._compute(pending[i][1])
         return results  # type: ignore[return-value]
 
@@ -406,7 +432,12 @@ class PopulationEvaluator:
                 self.cache.put(key, result)
                 results[key] = result
 
-        self.cache_hits += len(keys) - len(pending)
+        hits = len(keys) - len(pending)
+        self.cache_hits += hits
+        registry = get_registry()
+        registry.inc("search_fitness_lookups_total", len(keys))
+        registry.inc("search_fitness_cache_hits_total", hits)
+        registry.inc("search_evaluations_total", len(pending))
         return [results[key] for key in keys]
 
 
