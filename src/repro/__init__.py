@@ -11,20 +11,46 @@ Top-level convenience re-exports; see the subpackages for the full API:
 - :mod:`repro.transform` — fission / fusion code generation, tuning
 - :mod:`repro.pipeline`  — the end-to-end framework and CLI
 - :mod:`repro.apps`      — the six application generators
+- :mod:`repro.store`     — the persistent cross-run artifact cache
+- :mod:`repro.api`       — the stable entry point (transform / TransformConfig)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .api import (
+    EnvKnobDeprecationWarning,
+    TransformConfig,
+    TransformResult,
+    transform,
+)
 from .cudalite import parse_program, unparse
+from .errors import ConfigError, PipelineError, ReproError, StoreError
 from .gpu.device import K20X, K40, query_device
 from .pipeline import Framework, PipelineConfig, transform_program
+from .store import ArtifactStore, default_store_root, open_store
 
 __all__ = [
+    # stable facade (repro.api)
+    "transform",
+    "TransformConfig",
+    "TransformResult",
+    "EnvKnobDeprecationWarning",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "PipelineError",
+    "StoreError",
+    # persistent store
+    "ArtifactStore",
+    "open_store",
+    "default_store_root",
+    # language + devices
     "parse_program",
     "unparse",
     "K20X",
     "K40",
     "query_device",
+    # pipeline internals (pre-facade API, kept stable)
     "Framework",
     "PipelineConfig",
     "transform_program",

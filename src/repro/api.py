@@ -1,0 +1,661 @@
+"""repro.api — the stable Python entry point for the framework.
+
+One call transforms an application::
+
+    from repro.api import TransformConfig, transform
+
+    result = transform("Fluam", TransformConfig(device="K20X"))
+    print(result.speedup, result.verified)
+    print(result.source)          # the transformed CUDA(Lite) program
+
+:class:`TransformConfig` consolidates every knob that used to live in a
+scattered set of ``REPRO_*`` environment variables (search parallelism,
+fitness memoization, verification, interpreter strategy, telemetry, the
+persistent artifact store).  Precedence is always
+
+    explicit config field  >  environment variable  >  built-in default
+
+and :meth:`TransformConfig.resolved` materializes that chain into a fully
+concrete configuration (recorded verbatim in ``run.json``).  Setting a
+legacy knob through the environment still works but emits an
+:class:`EnvKnobDeprecationWarning` pointing at the config field that
+replaces it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
+
+from .cudalite import ast_nodes as ast
+from .cudalite.parser import parse_program
+from .cudalite.unparser import unparse
+from .errors import ConfigError, PipelineError, ReproError
+from .gpu.device import DeviceSpec, available_devices, query_device
+from .observability.metrics import get_registry
+from .observability.runinfo import build_run_manifest, write_run_manifest
+from .observability.runtime import telemetry, telemetry_enabled
+from .observability.tracing import get_tracer
+from .pipeline.framework import Framework
+from .pipeline.stages import STAGES, PipelineConfig, PipelineState
+from .search.params import GAParams, fast_params
+from .store.artifact_store import (
+    ArtifactStore,
+    default_store_root,
+    open_store,
+    store_enabled_from_env,
+)
+
+__all__ = [
+    "EnvKnobDeprecationWarning",
+    "TransformConfig",
+    "TransformResult",
+    "transform",
+]
+
+
+class EnvKnobDeprecationWarning(DeprecationWarning):
+    """A legacy ``REPRO_*`` environment knob supplied a configuration value.
+
+    The environment path keeps working (scripts and CI jobs do not break),
+    but the corresponding :class:`TransformConfig` field is the supported
+    spelling going forward.
+    """
+
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def _parse_bool(raw: str) -> bool:
+    return raw.strip().lower() not in _FALSY
+
+
+def _serialize_bool(value: bool) -> str:
+    return "1" if value else "0"
+
+
+def _parse_optional_float(raw: str) -> Optional[float]:
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def _serialize_optional(value: object) -> str:
+    return "" if value is None else str(value)
+
+
+@dataclass(frozen=True)
+class _EnvKnob:
+    """One environment-backed configuration field."""
+
+    env: str
+    parse: Callable[[str], object]
+    serialize: Callable[[object], str]
+    default: object
+    #: pre-existing knob — reading it from the environment warns
+    legacy: bool = True
+
+
+#: every environment-backed TransformConfig field, in declaration order
+ENV_KNOBS: Dict[str, _EnvKnob] = {
+    "fitness_cache": _EnvKnob(
+        "REPRO_FITNESS_CACHE", _parse_bool, _serialize_bool, True
+    ),
+    "fitness_cache_size": _EnvKnob(
+        "REPRO_FITNESS_CACHE_SIZE", int, str, 1_048_576
+    ),
+    "search_workers": _EnvKnob("REPRO_SEARCH_WORKERS", int, str, 0),
+    "search_executor": _EnvKnob(
+        "REPRO_SEARCH_EXECUTOR", lambda raw: raw.strip().lower(), str, "thread"
+    ),
+    "eval_timeout": _EnvKnob(
+        "REPRO_EVAL_TIMEOUT", _parse_optional_float, _serialize_optional, None
+    ),
+    "eval_retries": _EnvKnob("REPRO_EVAL_RETRIES", int, str, 1),
+    "verify_groups": _EnvKnob(
+        "REPRO_VERIFY_GROUPS", _parse_bool, _serialize_bool, True
+    ),
+    "verify_seed": _EnvKnob("REPRO_VERIFY_SEED", int, str, 0),
+    "verify_rtol": _EnvKnob("REPRO_VERIFY_RTOL", float, str, 0.0),
+    "block_exec": _EnvKnob(
+        "REPRO_BLOCK_EXEC", lambda raw: raw.strip().lower(), str, "auto"
+    ),
+    # telemetry and the store are first-class environment switches (CI
+    # and shells toggle them per-run); no deprecation warning
+    "telemetry": _EnvKnob(
+        "REPRO_TELEMETRY", _parse_bool, _serialize_bool, True, legacy=False
+    ),
+}
+
+ENV_STORE = "REPRO_STORE"
+
+
+@dataclass
+class TransformConfig:
+    """Complete configuration of one transformation run.
+
+    Two kinds of fields:
+
+    * plain fields (``device`` … ``trace_out``) have ordinary defaults;
+    * environment-backed fields (``fitness_cache`` … ``store_root``)
+      default to ``None`` meaning *unset* — :meth:`resolved` fills each
+      from its legacy ``REPRO_*`` variable when present, else from the
+      built-in default.  An explicitly assigned value always wins.
+    """
+
+    # ------------------------------------------------- plain fields
+    #: device model name (see ``repro.gpu.device.available_devices``)
+    device: Union[str, DeviceSpec] = "K20X"
+    #: 'automated' | 'guided' | 'manual' (§6.2.2)
+    mode: str = "automated"
+    #: GA random seed (used when ``ga_params`` is not given)
+    seed: int = 12345
+    #: full GA parameter set; ``None`` = ``fast_params(seed)``
+    ga_params: Optional[GAParams] = None
+    #: stop after this stage (``None`` = run everything)
+    until: Optional[str] = None
+    #: kernels manually excluded from the search
+    exclude: Tuple[str, ...] = ()
+    #: roofline/boundary target filtering (§3.2.2)
+    filtering: bool = True
+    #: kernel fission (lazy fission encoding)
+    fission: bool = True
+    #: thread-block tuning (§4.2)
+    tuning: bool = True
+    #: whole-program output verification on the interpreter
+    verify: bool = True
+    #: abort on search/verification failure instead of degrading
+    fail_hard: bool = False
+    #: directory for stage artifacts, reports and ``run.json``
+    workdir: Optional[str] = None
+    #: end-of-run metrics destination (.json or .prom)
+    metrics_out: Optional[str] = None
+    #: Chrome trace-event destination
+    trace_out: Optional[str] = None
+
+    # ------------------------- environment-backed fields (None = unset)
+    #: memoize GGA fitness by partition content (REPRO_FITNESS_CACHE)
+    fitness_cache: Optional[bool] = None
+    #: max retained fitness entries (REPRO_FITNESS_CACHE_SIZE)
+    fitness_cache_size: Optional[int] = None
+    #: parallel fitness workers, 0 = auto (REPRO_SEARCH_WORKERS)
+    search_workers: Optional[int] = None
+    #: 'thread' | 'process' (REPRO_SEARCH_EXECUTOR)
+    search_executor: Optional[str] = None
+    #: per-evaluation timeout in seconds, 0 = none (REPRO_EVAL_TIMEOUT)
+    eval_timeout: Optional[float] = None
+    #: evaluation retry budget (REPRO_EVAL_RETRIES)
+    eval_retries: Optional[int] = None
+    #: per-group verification gate (REPRO_VERIFY_GROUPS)
+    verify_groups: Optional[bool] = None
+    #: verification input-synthesis seed (REPRO_VERIFY_SEED)
+    verify_seed: Optional[int] = None
+    #: 0 = bitwise comparison, >0 = allclose rtol (REPRO_VERIFY_RTOL)
+    verify_rtol: Optional[float] = None
+    #: interpreter strategy: 'auto' | 'loop' | 'batched' (REPRO_BLOCK_EXEC)
+    block_exec: Optional[str] = None
+    #: observability layer on/off (REPRO_TELEMETRY)
+    telemetry: Optional[bool] = None
+    #: persistent cross-run artifact store (REPRO_STORE opts in)
+    store: Optional[bool] = None
+    #: store root directory (default ``~/.cache/repro``)
+    store_root: Optional[str] = None
+
+    # ----------------------------------------------------- validation
+
+    def __post_init__(self) -> None:
+        if isinstance(self.exclude, list):
+            self.exclude = tuple(self.exclude)
+        if self.mode not in ("automated", "guided", "manual"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.until is not None and self.until not in STAGES:
+            raise ConfigError(
+                f"unknown stage {self.until!r} (expected one of {STAGES})"
+            )
+        if isinstance(self.device, str) and self.device not in available_devices():
+            raise ConfigError(
+                f"unknown device {self.device!r} "
+                f"(available: {sorted(available_devices())})"
+            )
+        if self.search_executor is not None and self.search_executor not in (
+            "thread",
+            "process",
+        ):
+            raise ConfigError(
+                f"search_executor must be 'thread' or 'process', "
+                f"not {self.search_executor!r}"
+            )
+        if self.block_exec is not None and self.block_exec not in (
+            "auto",
+            "loop",
+            "batched",
+        ):
+            raise ConfigError(
+                f"block_exec must be 'auto', 'loop' or 'batched', "
+                f"not {self.block_exec!r}"
+            )
+
+    # ---------------------------------------------------- env round-trip
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Dict[str, str]] = None, **overrides: Any
+    ) -> "TransformConfig":
+        """Build a config from the current ``REPRO_*`` environment.
+
+        Every environment-backed field is read explicitly (no deprecation
+        warnings — this *is* the migration helper); ``overrides`` are
+        applied on top.
+        """
+        env = os.environ if environ is None else environ
+        values: Dict[str, Any] = {}
+        for name, knob in ENV_KNOBS.items():
+            raw = env.get(knob.env)
+            if raw is None or not raw.strip():
+                continue
+            try:
+                values[name] = knob.parse(raw)
+            except (TypeError, ValueError):
+                continue
+        if store_enabled_from_env(env):
+            values["store"] = True
+            values["store_root"] = default_store_root(env)
+        elif (env.get(ENV_STORE) or "").strip():
+            values["store"] = False
+        values.update(overrides)
+        return cls(**values)
+
+    def to_env(self) -> Dict[str, str]:
+        """The environment assignments equivalent to the *set* fields.
+
+        Round-trips with :meth:`from_env`: unset (``None``) fields are
+        omitted, so applying the result leaves their env state untouched.
+        """
+        env: Dict[str, str] = {}
+        for name, knob in ENV_KNOBS.items():
+            value = getattr(self, name)
+            if value is not None:
+                env[knob.env] = knob.serialize(value)
+        if self.store is not None:
+            if self.store:
+                env[ENV_STORE] = str(
+                    Path(self.store_root or default_store_root()).expanduser()
+                )
+            else:
+                env[ENV_STORE] = "0"
+        return env
+
+    def resolved(self, environ: Optional[Dict[str, str]] = None) -> "TransformConfig":
+        """Materialize ``explicit > env > default`` into concrete values.
+
+        Reading a *legacy* knob from the environment emits an
+        :class:`EnvKnobDeprecationWarning` naming the replacement field.
+        """
+        env = os.environ if environ is None else environ
+        values: Dict[str, Any] = {}
+        for name, knob in ENV_KNOBS.items():
+            if getattr(self, name) is not None:
+                continue
+            raw = env.get(knob.env)
+            value = knob.default
+            if raw is not None and raw.strip():
+                try:
+                    value = knob.parse(raw)
+                except (TypeError, ValueError):
+                    value = knob.default
+                else:
+                    if knob.legacy:
+                        warnings.warn(
+                            f"{knob.env} is deprecated; set "
+                            f"TransformConfig.{name} instead",
+                            EnvKnobDeprecationWarning,
+                            stacklevel=2,
+                        )
+            values[name] = value
+        if self.store is None:
+            values["store"] = store_enabled_from_env(env)
+        if self.store_root is None:
+            values["store_root"] = default_store_root(env)
+        return replace(self, **values)
+
+    # --------------------------------------------------- file round-trip
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransformConfig":
+        """Build a config from a plain dict (e.g. a parsed config file)."""
+        if not isinstance(data, dict):
+            raise ConfigError("config must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}"
+            )
+        values = dict(data)
+        ga = values.get("ga_params")
+        if isinstance(ga, dict):
+            values["ga_params"] = _ga_params_from_dict(ga)
+        if "exclude" in values and values["exclude"] is not None:
+            values["exclude"] = tuple(values["exclude"])
+        try:
+            return cls(**values)
+        except TypeError as exc:
+            raise ConfigError(f"invalid config: {exc}") from None
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TransformConfig":
+        """Load a JSON config file (the CLI's ``--config``)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ConfigError(f"cannot read config file {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"config file {path} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict (round-trips through :meth:`from_dict`)."""
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "ga_params" and value is not None:
+                value = asdict(value)
+            elif f.name == "device" and isinstance(value, DeviceSpec):
+                value = value.name
+            elif isinstance(value, tuple):
+                value = list(value)
+            data[f.name] = value
+        return data
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    # ------------------------------------------------------- execution
+
+    def device_spec(self) -> DeviceSpec:
+        if isinstance(self.device, DeviceSpec):
+            return self.device
+        return query_device(self.device)
+
+    def resolved_ga_params(self) -> GAParams:
+        return self.ga_params or fast_params(seed=self.seed)
+
+    def pipeline_config(
+        self, store: Optional[ArtifactStore] = None
+    ) -> PipelineConfig:
+        """The :class:`PipelineConfig` this (resolved) config describes."""
+        return PipelineConfig(
+            device=self.device_spec(),
+            mode=self.mode,
+            ga_params=self.resolved_ga_params(),
+            manual_exclusions=tuple(self.exclude),
+            disable_filtering=not self.filtering,
+            enable_fission=self.fission,
+            tune_blocks=self.tuning,
+            verify=self.verify,
+            verify_groups=bool(self.verify_groups),
+            fail_soft=not self.fail_hard,
+            workdir=self.workdir,
+            store=store,
+        )
+
+    @contextmanager
+    def applied_env(self) -> Iterator[None]:
+        """Export the environment-backed fields for the run's duration.
+
+        Deep configuration readers (the parallel evaluator, the
+        verification gate, the interpreter) resolve ``REPRO_*`` at use
+        time; scoping the resolved values into the environment makes the
+        config authoritative for them — and for any worker processes they
+        spawn — without threading a config object through every layer.
+        """
+        assignments = self.to_env()
+        saved = {name: os.environ.get(name) for name in assignments}
+        os.environ.update(assignments)
+        try:
+            yield
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+
+def _ga_params_from_dict(data: Dict[str, Any]) -> GAParams:
+    from .search.penalty import PenaltyParams
+
+    values = dict(data)
+    known = {f.name for f in fields(GAParams)}
+    unknown = set(values) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown ga_params field(s): {', '.join(sorted(unknown))}"
+        )
+    penalties = values.get("penalties")
+    if isinstance(penalties, dict):
+        try:
+            values["penalties"] = PenaltyParams(**penalties)
+        except TypeError as exc:
+            raise ConfigError(f"invalid ga_params.penalties: {exc}") from None
+    try:
+        return GAParams(**values)
+    except TypeError as exc:
+        raise ConfigError(f"invalid ga_params: {exc}") from None
+
+
+# ------------------------------------------------------------------ result
+
+
+@dataclass
+class TransformResult:
+    """Outcome of one :func:`transform` call."""
+
+    #: full pipeline state (every stage artifact)
+    state: PipelineState
+    #: the fully resolved configuration that produced this result
+    config: TransformConfig
+    #: combined human-readable stage report
+    report: str
+    #: wall time per completed stage, in execution order
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def program(self) -> Optional[ast.Program]:
+        """The transformed program (``None`` before the codegen stage)."""
+        if self.state.transform is None:
+            return None
+        return self.state.transform.program
+
+    @property
+    def source(self) -> Optional[str]:
+        """The transformed program's text."""
+        program = self.program
+        return None if program is None else unparse(program)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        try:
+            return self.state.speedup
+        except PipelineError:
+            return None
+
+    @property
+    def verified(self) -> Optional[bool]:
+        return self.state.verified
+
+    @property
+    def reused(self) -> Dict[str, str]:
+        """Stage/artifact reuse provenance (empty on a cold run)."""
+        return dict(self.state.reused)
+
+    @property
+    def reports(self) -> Dict[str, str]:
+        return dict(self.state.reports)
+
+
+# ------------------------------------------------------------------ facade
+
+
+def _coerce_program(app_or_program: object) -> Tuple[ast.Program, str]:
+    """Accept a Program, app name, source path, source text or GeneratedApp.
+
+    Returns ``(program, source_label)`` — the label lands in ``run.json``.
+    """
+    if isinstance(app_or_program, ast.Program):
+        return app_or_program, "<program>"
+    program = getattr(app_or_program, "program", None)
+    if isinstance(program, ast.Program):  # GeneratedApp
+        name = getattr(app_or_program, "name", "<app>")
+        return program, f"app:{name}"
+    if isinstance(app_or_program, Path):
+        return parse_program(app_or_program.read_text()), str(app_or_program)
+    if isinstance(app_or_program, str):
+        from .apps import APP_NAMES, build_app
+
+        if app_or_program in APP_NAMES:
+            return build_app(app_or_program).program, f"app:{app_or_program}"
+        if "\n" not in app_or_program and Path(app_or_program).is_file():
+            return (
+                parse_program(Path(app_or_program).read_text()),
+                app_or_program,
+            )
+        return parse_program(app_or_program), "<source>"
+    raise ConfigError(
+        f"cannot transform a {type(app_or_program).__name__}; expected a "
+        "Program, app name, source path, source text or GeneratedApp"
+    )
+
+
+def _store_provenance(
+    state: Optional[PipelineState], store: Optional[ArtifactStore]
+) -> Dict[str, object]:
+    if store is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "root": str(store.root),
+        "reused_stages": dict(state.reused) if state is not None else {},
+        "stats": store.stats.as_dict(),
+    }
+
+
+def write_run_outputs(
+    config: TransformConfig,
+    source_label: str,
+    framework: Optional[Framework],
+    store: Optional[ArtifactStore],
+    exit_code: int,
+    error: Optional[Dict[str, object]] = None,
+) -> None:
+    """Persist ``run.json`` (+ optional metrics/trace files) for one run.
+
+    Runs on success *and* on the failure path, so failed runs leave a
+    machine-readable diagnostic; skipped when telemetry is off or when no
+    destination (workdir / metrics_out / trace_out) was configured.
+    """
+    if not telemetry_enabled():
+        return
+    if not (config.workdir or config.metrics_out or config.trace_out):
+        # don't surprise the caller with a run.json in their cwd
+        return
+    state = framework.state if framework is not None else None
+    speedup = None
+    verified = None
+    demotions = 0
+    if state is not None:
+        verified = state.verified
+        if state.transform is not None:
+            demotions = len(state.transform.demotions)
+            try:
+                speedup = state.speedup
+            except PipelineError:
+                speedup = None
+    run_dir = Path(config.workdir) if config.workdir else Path(".")
+    run_dir.mkdir(parents=True, exist_ok=True)
+    manifest = build_run_manifest(
+        source=source_label,
+        config=config.to_dict(),
+        stage_times=framework.stage_times if framework is not None else {},
+        reports=dict(state.reports) if state is not None else {},
+        speedup=speedup,
+        verified=verified,
+        demotions=demotions,
+        exit_code=exit_code,
+        error=error,
+        extra={"store": _store_provenance(state, store)},
+    )
+    write_run_manifest(str(run_dir / "run.json"), manifest)
+    if config.metrics_out:
+        registry = get_registry()
+        if config.metrics_out.endswith(".prom"):
+            registry.write_prometheus(config.metrics_out)
+        else:
+            registry.write_json(config.metrics_out)
+    if config.trace_out:
+        get_tracer().write(config.trace_out)
+
+
+def transform(
+    app_or_program: object,
+    config: Optional[TransformConfig] = None,
+    **overrides: Any,
+) -> TransformResult:
+    """Transform an application end-to-end and return the result.
+
+    ``app_or_program`` may be a parsed :class:`~repro.cudalite.ast_nodes.
+    Program`, a generated app (or its registry name, e.g. ``"Fluam"``), a
+    source file path, or CUDA(Lite) source text.  ``overrides`` are
+    :class:`TransformConfig` fields applied on top of ``config``.
+
+    Raises :class:`~repro.errors.ReproError` subclasses on failure; when
+    a working directory is configured, ``run.json`` is written on both
+    the success and the failure path.
+    """
+    base = config or TransformConfig()
+    if overrides:
+        known = {f.name for f in fields(TransformConfig)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}"
+            )
+        base = replace(base, **overrides)
+    resolved = base.resolved()
+    with resolved.applied_env(), telemetry(bool(resolved.telemetry)):
+        store: Optional[ArtifactStore] = None
+        if resolved.store:
+            store = open_store(resolved.store_root)
+        framework: Optional[Framework] = None
+        source_label = "<unknown>"
+        try:
+            program, source_label = _coerce_program(app_or_program)
+            framework = Framework(program, resolved.pipeline_config(store))
+            state = framework.run(until=resolved.until)
+        except ReproError as exc:
+            write_run_outputs(
+                resolved,
+                source_label,
+                framework,
+                store,
+                exit_code=2,
+                error={
+                    "type": type(exc).__name__,
+                    "stage": exc.stage,
+                    "message": str(exc),
+                },
+            )
+            raise
+        write_run_outputs(
+            resolved, source_label, framework, store, exit_code=0
+        )
+        return TransformResult(
+            state=state,
+            config=resolved,
+            report=framework.report(),
+            stage_times=dict(framework.stage_times),
+        )

@@ -124,3 +124,16 @@ class FaultInjectionError(ReproError):
 
 class PipelineError(ReproError):
     """End-to-end pipeline orchestration failure (bad stage order etc.)."""
+
+
+class StoreError(ReproError):
+    """The persistent artifact store could not service a request.
+
+    The pipeline never lets this escape a run — store failures degrade to
+    a cold (uncached) execution — but the store raises it for genuinely
+    unusable configurations (e.g. a root path that is a regular file).
+    """
+
+
+class ConfigError(ReproError):
+    """A :class:`repro.api.TransformConfig` (or config file) is invalid."""

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 from ..cudalite import ast_nodes as ast
+from ..cudalite.unparser import unparse
 from ..errors import ReproError, TransformError, VerificationError
 from ..gpu.device import DeviceSpec
 from ..gpu.perfmodel import (
@@ -45,6 +46,9 @@ from ..reliability.degrade import DemotionRecord, fusion_waves
 from ..reliability.verify import GroupVerdict, VerifyConfig, verify_group
 from ..search.grouping import FusionProblem, Grouping
 from ..search.problem_builder import CodegenBinding
+from ..store import keys as store_keys
+from ..store import stage_cache
+from ..store.artifact_store import ArtifactStore
 from ..transform.blocksize import TuningDecision, tune_kernel_block
 from ..transform.fusion import (
     Constituent,
@@ -146,6 +150,49 @@ def _internal_raw_edges(
     return edges
 
 
+def _group_verify_key(
+    fused: FusedKernel,
+    member_bindings: Sequence[CodegenBinding],
+    compare: Sequence[str],
+    array_shapes: Mapping[str, Tuple[int, ...]],
+    verify_cfg: VerifyConfig,
+) -> str:
+    """Content address of one group's verification outcome.
+
+    Covers everything the gate's verdict depends on — the generated kernel
+    text, launch configuration, every constituent kernel with its binding,
+    the shapes of every touched array, the compared outputs and the
+    verification settings — and nothing else, so the verdict survives
+    unrelated edits elsewhere in the program.
+    """
+    launch_sig = (tuple(fused.grid), tuple(fused.block))
+    constituents_sig = tuple(
+        (
+            unparse(b.kernel),
+            tuple(b.array_args),
+            tuple(float(v) for v in b.scalar_values),
+            tuple(b.grid),
+            tuple(b.block),
+        )
+        for b in member_bindings
+    )
+    touched = sorted(
+        {a for b in member_bindings for a in b.array_args} | set(compare)
+    )
+    shapes_sig = tuple(
+        (name, tuple(array_shapes.get(name, ()))) for name in touched
+    )
+    return store_keys.verified_group_key(
+        unparse(fused.kernel),
+        launch_sig,
+        constituents_sig,
+        shapes_sig,
+        tuple(sorted(compare)),
+        verify_cfg.seed,
+        verify_cfg.rtol,
+    )
+
+
 def _constituent(binding: CodegenBinding) -> Constituent:
     return make_constituent(
         binding.kernel,
@@ -168,6 +215,7 @@ def materialize(
     tune_blocks: bool = True,
     initial_block: Optional[Tuple[int, int, int]] = None,
     verify_config: Optional[VerifyConfig] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> TransformResult:
     """Generate the transformed program for ``grouping``.
 
@@ -180,10 +228,17 @@ def materialize(
     codegen or verification is demoted down the fusion ladder — complex
     fusion → per-wave simple fusion → per-member launches — and each
     demotion is recorded in :attr:`TransformResult.demotions`.
+
+    ``store`` enables incremental re-verification: a generated group whose
+    content (kernel text, launch configuration, constituents, array
+    shapes, verification settings) matches a previously *passed*
+    verification is committed without re-running the interpreter, and
+    block-tuning decisions are memoized by their occupancy inputs.
     """
     options = options or FusionOptions()
     verify_cfg = verify_config or VerifyConfig.from_env()
     schedule = _schedule_groups(problem, grouping)
+    device_fp = store_keys.device_fingerprint(device)
 
     new_kernels: Dict[str, ast.KernelDef] = {}
     launches: List[GeneratedLaunch] = []
@@ -260,17 +315,32 @@ def materialize(
         decision: Optional[TuningDecision] = None
         tuned: Optional[FusedKernel] = None
         if tune_blocks:
-            decision = tune_kernel_block(
-                device,
-                name,
+            dims = (
+                2
+                if fused.block[1] > 1
+                or (initial_block is not None and initial_block[1] > 1)
+                else 1
+            )
+            tuning_key = store_keys.tuning_key(
+                device_fp,
                 fused.block,
                 fused.traits.smem_per_block,
                 fused.traits.regs_per_thread,
-                dims=2
-                if fused.block[1] > 1
-                or (initial_block is not None and initial_block[1] > 1)
-                else 1,
+                dims,
             )
+            if store is not None:
+                decision = stage_cache.load_tuning(store, tuning_key, name)
+            if decision is None:
+                decision = tune_kernel_block(
+                    device,
+                    name,
+                    fused.block,
+                    fused.traits.smem_per_block,
+                    fused.traits.regs_per_thread,
+                    dims=dims,
+                )
+                if store is not None:
+                    stage_cache.save_tuning(store, tuning_key, decision)
             if decision.changed:
                 try:
                     tuned = fuse_kernels(
@@ -287,17 +357,49 @@ def materialize(
         member_bindings = [bindings[n] for n in members]
         compare = written_arrays(members)
         candidate = tuned if tuned is not None else fused
-        with span("verify:group", kernel=name):
-            verdict = verify_group(
-                candidate, member_bindings, array_shapes, compare, verify_cfg
+
+        def gated_verify(kernel_candidate: FusedKernel) -> GroupVerdict:
+            """Verify one generated kernel, reusing a stored verdict when
+            the group's full content matches a previously passed gate."""
+            group_key: Optional[str] = None
+            if store is not None and verify_cfg.enabled:
+                group_key = _group_verify_key(
+                    kernel_candidate,
+                    member_bindings,
+                    compare,
+                    array_shapes,
+                    verify_cfg,
+                )
+                if stage_cache.group_previously_verified(store, group_key):
+                    get_registry().inc(
+                        "verify_group_verdicts_total", status="reused"
+                    )
+                    return GroupVerdict(
+                        kernel=name,
+                        members=tuple(members),
+                        status="pass",
+                        cause="reused from store",
+                    )
+            with span("verify:group", kernel=name):
+                fresh = verify_group(
+                    kernel_candidate,
+                    member_bindings,
+                    array_shapes,
+                    compare,
+                    verify_cfg,
+                )
+            get_registry().inc(
+                "verify_group_verdicts_total", status=fresh.status
             )
-        get_registry().inc("verify_group_verdicts_total", status=verdict.status)
+            if group_key is not None and fresh.status == "pass":
+                stage_cache.record_verified_group(store, group_key, fresh)
+            return fresh
+
+        verdict = gated_verify(candidate)
         if verdict.failed and tuned is not None:
             # the tuned regeneration broke the kernel; fall back to the
             # verified-able untuned block and drop the tuning decision
-            untuned_verdict = verify_group(
-                fused, member_bindings, array_shapes, compare, verify_cfg
-            )
+            untuned_verdict = gated_verify(fused)
             if not untuned_verdict.failed:
                 logger.warning(
                     "tuned kernel %s failed verification (%s); "

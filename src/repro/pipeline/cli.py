@@ -3,6 +3,11 @@
 Mirrors the paper's tool: the programmer points it at a CUDA(Lite) source
 file, optionally bounds the stages (``--until`` / ``--from``) and receives
 stage reports, DOT files and the generated program in a working directory.
+
+The CLI is a thin shell over :func:`repro.api.transform`: it assembles a
+:class:`repro.api.TransformConfig` (``--config`` file first, then explicit
+flags on top) and delegates execution, run-manifest writing and telemetry
+output to the facade.
 """
 
 from __future__ import annotations
@@ -10,21 +15,14 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from dataclasses import replace
 from pathlib import Path
 
-from typing import Dict, Optional
-
-from ..cudalite.parser import parse_program
-from ..cudalite.unparser import unparse
-from ..errors import PipelineError, ReproError
-from ..gpu.device import available_devices, query_device
-from ..observability.metrics import get_registry
-from ..observability.runinfo import build_run_manifest, write_run_manifest
-from ..observability.runtime import set_telemetry_enabled, telemetry_enabled
-from ..observability.tracing import get_tracer
-from ..search.params import GAParams, fast_params
-from .framework import Framework
-from .stages import STAGES, PipelineConfig
+from ..api import TransformConfig, transform
+from ..errors import ConfigError, ReproError
+from ..gpu.device import available_devices
+from ..search.params import GAParams
+from .stages import STAGES
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -40,14 +38,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None, help="write the transformed program here"
     )
     parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON TransformConfig file (see repro.api); explicit flags "
+            "override its fields"
+        ),
+    )
+    parser.add_argument(
         "--device",
-        default="K20X",
+        default=None,
         choices=sorted(available_devices()),
-        help="target device model",
+        help="target device model (default: K20X)",
     )
     parser.add_argument(
         "--mode",
-        default="automated",
+        default=None,
         choices=("automated", "guided", "manual"),
         help="transformation mode (guided/manual enable high-quality codegen)",
     )
@@ -101,7 +108,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="logging verbosity for pipeline diagnostics",
     )
     parser.add_argument(
-        "--seed", type=int, default=12345, help="GA random seed"
+        "--seed", type=int, default=None, help="GA random seed (default: 12345)"
+    )
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="ROOT",
+        help=(
+            "enable the persistent cross-run artifact store, optionally at "
+            "ROOT (default: REPRO_STORE or ~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent store even when REPRO_STORE is set",
     )
     parser.add_argument(
         "--metrics-out",
@@ -129,76 +152,58 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config_dict(args) -> Dict[str, object]:
-    """The resolved CLI configuration, for the run manifest."""
-    return {
-        "device": args.device,
-        "mode": args.mode,
-        "until": args.until,
-        "workdir": args.workdir,
-        "seed": args.seed,
-        "ga_params_file": args.ga_params,
-        "exclude": list(args.exclude),
-        "no_filter": args.no_filter,
-        "no_fission": args.no_fission,
-        "no_tuning": args.no_tuning,
-        "no_verify": args.no_verify,
-        "no_group_verify": args.no_group_verify,
-        "fail_hard": args.fail_hard,
-    }
+def _build_config(args) -> TransformConfig:
+    """``--config`` file first, explicit flags layered on top.
 
-
-def _write_telemetry_outputs(
-    args,
-    framework: Optional[Framework],
-    exit_code: int,
-    error: Optional[Dict[str, object]],
-) -> None:
-    """Persist run.json (+ optional metrics/trace files) for this run.
-
-    Runs on success *and* on the exit-code-2 path, so failed runs leave a
-    machine-readable diagnostic; skipped entirely under ``--no-telemetry``.
+    Flags whose argparse default is ``None``/``False``/``[]`` only
+    override the file when the user actually passed them, preserving the
+    documented precedence (explicit > file > env > default).
     """
-    if not telemetry_enabled():
-        return
-    if not (args.workdir or args.metrics_out or args.trace_out):
-        # no working directory and no explicit telemetry destinations:
-        # don't surprise the caller with a run.json in their cwd
-        return
-    state = framework.state if framework is not None else None
-    speedup = None
-    verified = None
-    demotions = 0
-    if state is not None:
-        verified = state.verified
-        if state.transform is not None:
-            demotions = len(state.transform.demotions)
-            try:
-                speedup = state.speedup
-            except PipelineError:
-                speedup = None
-    run_dir = Path(args.workdir) if args.workdir else Path(".")
-    run_dir.mkdir(parents=True, exist_ok=True)
-    manifest = build_run_manifest(
-        source=args.source,
-        config=_config_dict(args),
-        stage_times=framework.stage_times if framework is not None else {},
-        reports=dict(state.reports) if state is not None else {},
-        speedup=speedup,
-        verified=verified,
-        demotions=demotions,
-        exit_code=exit_code,
-        error=error,
+    config = (
+        TransformConfig.from_file(args.config)
+        if args.config
+        else TransformConfig()
     )
-    write_run_manifest(str(run_dir / "run.json"), manifest)
-    if args.metrics_out:
-        registry = get_registry()
-        if args.metrics_out.endswith(".prom"):
-            registry.write_prometheus(args.metrics_out)
-        else:
-            registry.write_json(args.metrics_out)
-    if args.trace_out:
-        get_tracer().write(args.trace_out)
+    overrides = {}
+    if args.device is not None:
+        overrides["device"] = args.device
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.ga_params:
+        overrides["ga_params"] = GAParams.read(args.ga_params)
+    if args.until is not None:
+        overrides["until"] = args.until
+    if args.workdir is not None:
+        overrides["workdir"] = args.workdir
+    if args.exclude:
+        overrides["exclude"] = tuple(args.exclude)
+    if args.no_filter:
+        overrides["filtering"] = False
+    if args.no_fission:
+        overrides["fission"] = False
+    if args.no_tuning:
+        overrides["tuning"] = False
+    if args.no_verify:
+        overrides["verify"] = False
+    if args.no_group_verify:
+        overrides["verify_groups"] = False
+    if args.fail_hard:
+        overrides["fail_hard"] = True
+    if args.metrics_out is not None:
+        overrides["metrics_out"] = args.metrics_out
+    if args.trace_out is not None:
+        overrides["trace_out"] = args.trace_out
+    if args.no_telemetry:
+        overrides["telemetry"] = False
+    if args.no_store:
+        overrides["store"] = False
+    elif args.store is not None:
+        overrides["store"] = True
+        if isinstance(args.store, str):
+            overrides["store_root"] = args.store
+    return replace(config, **overrides) if overrides else config
 
 
 def main(argv=None) -> int:
@@ -207,42 +212,13 @@ def main(argv=None) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(levelname)s %(name)s: %(message)s",
     )
-    if not args.no_telemetry:
-        return _main(args)
-    previous = telemetry_enabled()
-    set_telemetry_enabled(False)
     try:
-        return _main(args)
-    finally:
-        set_telemetry_enabled(previous)
-
-
-def _main(args) -> int:
-    framework: Optional[Framework] = None
+        config = _build_config(args)
+    except (ConfigError, ReproError) as exc:
+        print(f"repro-transform: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
     try:
-        source = Path(args.source).read_text()
-        program = parse_program(source)
-
-        if args.ga_params:
-            params = GAParams.read(args.ga_params)
-        else:
-            params = fast_params(seed=args.seed)
-
-        config = PipelineConfig(
-            device=query_device(args.device),
-            mode=args.mode,
-            ga_params=params,
-            manual_exclusions=tuple(args.exclude),
-            disable_filtering=args.no_filter,
-            enable_fission=not args.no_fission,
-            tune_blocks=not args.no_tuning,
-            verify=not args.no_verify,
-            verify_groups=not args.no_group_verify,
-            fail_soft=not args.fail_hard,
-            workdir=args.workdir,
-        )
-        framework = Framework(program, config)
-        state = framework.run(until=args.until)
+        result = transform(Path(args.source), config)
     except ReproError as exc:
         # expected failure modes get a one-line diagnostic, not a traceback
         stage = f" [stage: {exc.stage}]" if exc.stage else ""
@@ -250,32 +226,19 @@ def _main(args) -> int:
             f"repro-transform: {type(exc).__name__}{stage}: {exc}",
             file=sys.stderr,
         )
-        _write_telemetry_outputs(
-            args,
-            framework,
-            exit_code=2,
-            error={
-                "type": type(exc).__name__,
-                "stage": exc.stage,
-                "message": str(exc),
-            },
-        )
         return 2
-    report = framework.report()
-    print(report)
-    if args.workdir:
-        workdir = Path(args.workdir)
+    print(result.report)
+    if config.workdir:
+        workdir = Path(config.workdir)
         workdir.mkdir(parents=True, exist_ok=True)
-        (workdir / "report.txt").write_text(report + "\n")
+        (workdir / "report.txt").write_text(result.report + "\n")
 
-    if args.until in (None, "codegen") and state.transform is not None:
-        output = unparse(state.transform.program)
+    if config.until in (None, "codegen") and result.source is not None:
         if args.output:
-            Path(args.output).write_text(output)
+            Path(args.output).write_text(result.source)
             print(f"transformed program written to {args.output}")
         else:
-            print(output)
-    _write_telemetry_outputs(args, framework, exit_code=0, error=None)
+            print(result.source)
     return 0
 
 

@@ -55,6 +55,9 @@ from ..search import (
     run_search,
     singleton_grouping,
 )
+from ..store import keys as store_keys
+from ..store import stage_cache
+from ..store.artifact_store import ArtifactStore
 from ..transform.fusion import FusionOptions
 from .apply import (
     TransformResult,
@@ -94,6 +97,9 @@ class PipelineConfig:
     fail_soft: bool = True
     #: optional directory where stage artifacts are written
     workdir: Optional[str] = None
+    #: persistent cross-run artifact cache (``None`` disables reuse); see
+    #: :mod:`repro.store` — corruption always degrades to a cold run
+    store: Optional[ArtifactStore] = None
     #: fine-grained codegen-strategy overrides (field name -> value), applied
     #: on top of the mode defaults; this is how a *guided* run enables only
     #: the specific fix the programmer identified (§6.2.2)
@@ -131,6 +137,20 @@ class PipelineState:
     transformed_projection: Optional[ProgramProjection] = None
     verified: Optional[bool] = None
     reports: Dict[str, str] = field(default_factory=dict)
+    #: stage/artifact reuse provenance (stage name -> what was reused);
+    #: lands in ``run.json`` so a repeat run is auditable
+    reused: Dict[str, str] = field(default_factory=dict)
+    _program_fp: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def program_fingerprint(self) -> str:
+        if self._program_fp is None:
+            self._program_fp = store_keys.program_fingerprint(self.program)
+        return self._program_fp
+
+    @property
+    def device_fingerprint(self) -> str:
+        return store_keys.device_fingerprint(self.config.device)
 
     @property
     def speedup(self) -> float:
@@ -149,9 +169,34 @@ class PipelineState:
 # -------------------------------------------------------------------- stages
 
 
+def _metadata_store_key(state: PipelineState) -> str:
+    return store_keys.metadata_key(
+        state.program_fingerprint, state.device_fingerprint
+    )
+
+
 def stage_metadata(state: PipelineState) -> PipelineState:
-    """Stage 1: gather performance / operations / device metadata."""
-    state.metadata = gather_metadata(state.program, state.config.device)
+    """Stage 1: gather performance / operations / device metadata.
+
+    With a store attached, a previously profiled (program, device) pair
+    is reconstructed from its persisted metadata files instead of
+    re-running the profiling interpreter.
+    """
+    store = state.config.store
+    reuse_note = ""
+    metadata: Optional[ProgramMetadata] = None
+    if store is not None:
+        metadata = stage_cache.load_metadata(store, _metadata_store_key(state))
+        if metadata is not None:
+            state.reused["metadata"] = "profile"
+            reuse_note = " (reused from store)"
+    if metadata is None:
+        metadata = gather_metadata(state.program, state.config.device)
+        if store is not None:
+            stage_cache.save_metadata(
+                store, _metadata_store_key(state), metadata
+            )
+    state.metadata = metadata
     if state.config.workdir is not None:
         state.metadata.write(Path(state.config.workdir) / "metadata")
     kernels = state.metadata.kernels()
@@ -159,22 +204,45 @@ def stage_metadata(state: PipelineState) -> PipelineState:
         f"profiled {len(kernels)} kernels over "
         f"{len(state.metadata.launch_order)} launches; "
         f"total projected runtime {state.metadata.total_runtime_s() * 1e3:.3f} ms"
+        + reuse_note
     )
     return state
+
+
+def _targets_store_key(state: PipelineState) -> str:
+    return store_keys.targets_key(
+        state.program_fingerprint,
+        state.device_fingerprint,
+        state.config.boundary_fraction,
+        tuple(state.config.manual_exclusions),
+        state.config.disable_filtering,
+    )
 
 
 def stage_targets(state: PipelineState) -> PipelineState:
     """Stage 2: identify the fusion targets."""
     if state.metadata is None:
         raise PipelineError("metadata stage has not run")
-    state.targets = identify_targets(
-        state.metadata,
-        state.config.device,
-        boundary_fraction=state.config.boundary_fraction,
-        manual_exclusions=state.config.manual_exclusions,
-        disable_filtering=state.config.disable_filtering,
-    )
-    state.reports["targets"] = state.targets.summary()
+    store = state.config.store
+    reuse_note = ""
+    targets: Optional[TargetReport] = None
+    if store is not None:
+        targets = stage_cache.load_targets(store, _targets_store_key(state))
+        if targets is not None:
+            state.reused["targets"] = "filter"
+            reuse_note = "\n(reused from store)"
+    if targets is None:
+        targets = identify_targets(
+            state.metadata,
+            state.config.device,
+            boundary_fraction=state.config.boundary_fraction,
+            manual_exclusions=state.config.manual_exclusions,
+            disable_filtering=state.config.disable_filtering,
+        )
+        if store is not None:
+            stage_cache.save_targets(store, _targets_store_key(state), targets)
+    state.targets = targets
+    state.reports["targets"] = state.targets.summary() + reuse_note
     state._persist("targets.txt", state.reports["targets"])
     return state
 
@@ -183,18 +251,35 @@ def stage_graphs(state: PipelineState) -> PipelineState:
     """Stage 3: build and optimize the DDG, derive the OEG."""
     if state.metadata is None or state.targets is None:
         raise PipelineError("earlier stages have not run")
-    invocations = invocation_table(state.program, state.metadata)
-    ddg, report = optimize_ddg(invocations)
-    validate_ddg(ddg)
-    oeg = build_oeg(ddg)
-    validate_oeg(oeg)
-    tag_eligibility(ddg, oeg, state.targets)
+    store = state.config.store
+    graphs_key = store_keys.graphs_key(_targets_store_key(state))
+    reuse_note = ""
+    ddg = oeg = None
+    report_text: Optional[str] = None
+    if store is not None:
+        cached = stage_cache.load_graphs(store, graphs_key)
+        if cached is not None:
+            ddg, oeg, report_text = cached
+            state.reused["graphs"] = "ddg+oeg"
+            reuse_note = " (reused from store)"
+    if ddg is None or oeg is None:
+        invocations = invocation_table(state.program, state.metadata)
+        ddg, report = optimize_ddg(invocations)
+        validate_ddg(ddg)
+        oeg = build_oeg(ddg)
+        validate_oeg(oeg)
+        tag_eligibility(ddg, oeg, state.targets)
+        report_text = report.summary()
+        if store is not None:
+            stage_cache.save_graphs(store, graphs_key, ddg, oeg, report_text)
     state.ddg = ddg
     state.oeg = oeg
     state.reports["graphs"] = (
         f"DDG: {ddg.number_of_nodes()} nodes / {ddg.number_of_edges()} edges; "
-        f"OEG: {oeg.number_of_nodes()} nodes / {oeg.number_of_edges()} edges\n"
-        + report.summary()
+        f"OEG: {oeg.number_of_nodes()} nodes / {oeg.number_of_edges()} edges"
+        + reuse_note
+        + "\n"
+        + (report_text or "")
     )
     state._persist("ddg.dot", graph_to_dot(ddg, "DDG"))
     state._persist("oeg.dot", graph_to_dot(oeg, "OEG"))
@@ -221,26 +306,70 @@ def stage_search(state: PipelineState) -> PipelineState:
         enable_fission=state.config.enable_fission,
     )
     params = state.config.ga_params or fast_params()
+    store = state.config.store
     search_note = ""
-    try:
-        state.search = run_search(state.built.problem, state.config.device, params)
-    except ReproError as exc:
-        if not state.config.fail_soft:
-            raise
-        logger.error(
-            "search failed (%s); falling back to the identity grouping", exc
+    fell_back = False
+    reused_result: Optional[SearchResult] = None
+    seeds: List = []
+    if store is not None:
+        reused_result = stage_cache.load_search_result(
+            store, state.built.problem, state.config.device, params
         )
-        state.search = SearchResult(
-            best=singleton_grouping(state.built.problem),
-            best_fitness=0.0,
-            projected_time_s=0.0,
-            history=[],
-            generations_run=0,
-            converged_at=0,
-            avg_fissions_per_generation=0.0,
-            evaluations=0,
-        )
-        search_note = f"; search failed ({exc}), fell back to identity grouping"
+        if reused_result is not None:
+            state.reused["search"] = "result"
+            search_note = "; result reused from store"
+        else:
+            seeds, fitness_loaded = stage_cache.load_warm_start(
+                store, state.built.problem, state.config.device, params
+            )
+            if seeds or fitness_loaded:
+                state.reused["search"] = (
+                    f"warm-start:{len(seeds)} seeds, "
+                    f"{fitness_loaded} cached evaluations"
+                )
+                search_note = (
+                    f"; warm-started from store ({len(seeds)} seeds, "
+                    f"{fitness_loaded} cached evaluations)"
+                )
+    if reused_result is not None:
+        state.search = reused_result
+    else:
+        try:
+            state.search = run_search(
+                state.built.problem,
+                state.config.device,
+                params,
+                seed_population=seeds or None,
+            )
+        except ReproError as exc:
+            if not state.config.fail_soft:
+                raise
+            logger.error(
+                "search failed (%s); falling back to the identity grouping", exc
+            )
+            state.search = SearchResult(
+                best=singleton_grouping(state.built.problem),
+                best_fitness=0.0,
+                projected_time_s=0.0,
+                history=[],
+                generations_run=0,
+                converged_at=0,
+                avg_fissions_per_generation=0.0,
+                evaluations=0,
+            )
+            fell_back = True
+            search_note += (
+                f"; search failed ({exc}), fell back to identity grouping"
+            )
+        if store is not None and not fell_back:
+            stage_cache.save_search(
+                store,
+                state.built.problem,
+                state.config.device,
+                params,
+                state.search,
+                state.search.final_population,
+            )
     result = state.search
     if state.built.analysis_failures:
         failed = ", ".join(sorted(state.built.analysis_failures))
@@ -298,6 +427,7 @@ def stage_codegen(state: PipelineState) -> PipelineState:
     verify_cfg = VerifyConfig.from_env()
     if not state.config.verify_groups:
         verify_cfg = replace(verify_cfg, enabled=False)
+    store = state.config.store
     state.transform = materialize(
         state.program,
         state.built.problem,
@@ -308,13 +438,36 @@ def stage_codegen(state: PipelineState) -> PipelineState:
         options=state.config.fusion_options(),
         tune_blocks=state.config.tune_blocks,
         verify_config=verify_cfg,
+        store=store,
     )
+    reused_groups = [
+        v.kernel
+        for v in state.transform.group_verdicts
+        if v.cause == "reused from store"
+    ]
+    if reused_groups:
+        state.reused["verify_groups"] = f"{len(reused_groups)} groups"
+    reused_tuning = sum(1 for t in state.transform.tuning if t.reused)
+    if reused_tuning:
+        state.reused["tuning"] = f"{reused_tuning} blocks"
     state.baseline_projection = project_baseline(
         state.built.problem, state.config.device
     )
     codegen_note = ""
     if state.config.verify:
-        state.verified = _whole_program_verified(state)
+        program_key = store_keys.verified_program_key(
+            unparse(state.program), unparse(state.transform.program)
+        )
+        if store is not None and stage_cache.program_previously_verified(
+            store, program_key
+        ):
+            state.verified = True
+            state.reused["verify_program"] = "verdict"
+            codegen_note = "; verification reused from store"
+        else:
+            state.verified = _whole_program_verified(state)
+            if state.verified and store is not None:
+                stage_cache.record_verified_program(store, program_key)
         if not state.verified:
             if not state.config.fail_soft:
                 raise PipelineError(

@@ -22,6 +22,10 @@ Seams
 ``fitness_cache``
     Poisons a fitness-cache read; read validation must turn it into a
     cache miss.
+``store``
+    Poisons a persistent artifact-store read (``repro.store``); envelope
+    validation must treat the entry as corrupt and degrade the stage to
+    a cold (uncached) execution.
 ``worker_crash`` / ``worker_hang``
     Fired inside evaluator workers only: a crash kills the worker (a
     real ``os._exit`` in process children, a raised error in threads), a
@@ -67,6 +71,7 @@ SEAMS = (
     "codegen",
     "interpreter",
     "fitness_cache",
+    "store",
     "worker_crash",
     "worker_hang",
 )

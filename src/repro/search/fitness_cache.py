@@ -177,6 +177,21 @@ class FitnessCache:
         with self._lock:
             self._entries.pop(key, None)
 
+    def export_entries(
+        self, limit: Optional[int] = None
+    ) -> "list[Tuple[str, Any]]":
+        """Snapshot of the entries, most-recently-used last.
+
+        ``limit`` keeps only the most recent entries — the persistence
+        layer (:mod:`repro.store.stage_cache`) uses this to bound the
+        warm-start payload written after each search.
+        """
+        with self._lock:
+            items = list(self._entries.items())
+        if limit is not None and len(items) > limit:
+            items = items[-limit:]
+        return items
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -201,6 +216,9 @@ class NullCache:
 
     def discard(self, key: str) -> None:
         pass
+
+    def export_entries(self, limit: Optional[int] = None) -> "list[Tuple[str, Any]]":
+        return []
 
     def clear(self) -> None:
         self.stats = CacheStats()

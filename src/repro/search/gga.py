@@ -10,8 +10,8 @@ generation of convergence (used for the filtering experiment, Fig. 8).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import SearchError
 from ..gpu.device import DeviceSpec
@@ -90,6 +90,9 @@ class SearchResult:
     cache_hits: int = 0
     #: total fitness lookups this run (hits + misses)
     fitness_lookups: int = 0
+    #: the last generation's population (cross-run warm-start payload);
+    #: empty when the result was reconstructed from the artifact store
+    final_population: List[Grouping] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -121,10 +124,16 @@ class GGA:
         device: DeviceSpec,
         params: Optional[GAParams] = None,
         cache: Optional[FitnessCache] = None,
+        seed_population: Optional[Sequence[Grouping]] = None,
     ) -> None:
         self.problem = problem
         self.device = device
         self.params = params or GAParams()
+        #: individuals injected into generation 0 (cross-run warm start);
+        #: individuals that no longer cover the problem are dropped
+        self.seed_population: List[Grouping] = [
+            g for g in (seed_population or []) if g.covers(problem)
+        ]
         self.objective = get_objective(self.params.objective)
         self.rng = random.Random(self.params.seed)
         if cache is None:
@@ -181,9 +190,31 @@ class GGA:
         params = self.params
         if params.population < 2:
             raise SearchError("population must be at least 2")
+        mutation_rates = (
+            params.mutate_merge,
+            params.mutate_split,
+            params.mutate_move,
+            params.mutate_fission,
+        )
+        # generation 0: the identity individual, then any warm-start seeds
+        # (a previous run's best partition + final population), then
+        # mutation-diversified copies of the seeds — or purely random
+        # individuals on a cold start
         population: List[Grouping] = [singleton_grouping(self.problem)]
+        for seed in self.seed_population:
+            if len(population) >= params.population:
+                break
+            population.append(seed)
         while len(population) < params.population:
-            population.append(random_grouping(self.problem, self.rng))
+            if self.seed_population:
+                base = self.seed_population[
+                    len(population) % len(self.seed_population)
+                ]
+                population.append(
+                    mutate(self.problem, base, self.rng, mutation_rates)
+                )
+            else:
+                population.append(random_grouping(self.problem, self.rng))
 
         history: List[GenerationStats] = []
         best: Optional[Grouping] = None
@@ -191,12 +222,6 @@ class GGA:
         best_feasible: Optional[Grouping] = None
         best_feasible_fitness = float("-inf")
         stall = 0
-        mutation_rates = (
-            params.mutate_merge,
-            params.mutate_split,
-            params.mutate_move,
-            params.mutate_fission,
-        )
 
         registry = get_registry()
         generations_run = 0
@@ -325,6 +350,7 @@ class GGA:
             evaluations=self.evaluations,
             cache_hits=self.evaluator.cache_hits,
             fitness_lookups=self.evaluator.lookups,
+            final_population=list(population),
         )
 
     def _repair_to_feasible(self, individual: Grouping) -> Grouping:
@@ -361,6 +387,10 @@ def run_search(
     problem: FusionProblem,
     device: DeviceSpec,
     params: Optional[GAParams] = None,
+    seed_population: Optional[Sequence[Grouping]] = None,
 ) -> SearchResult:
-    """Convenience wrapper: construct and run the GGA."""
-    return GGA(problem, device, params).run()
+    """Convenience wrapper: construct and run the GGA.
+
+    ``seed_population`` warm-starts generation 0 (see :class:`GGA`).
+    """
+    return GGA(problem, device, params, seed_population=seed_population).run()

@@ -31,6 +31,8 @@ class TuningDecision:
     occupancy_before: float
     occupancy_after: float
     changed: bool
+    #: decision restored from the persistent store instead of re-derived
+    reused: bool = False
 
     @property
     def improvement(self) -> float:

@@ -1,0 +1,316 @@
+"""Tests for the repro.api facade (TransformConfig + transform)."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.api import (
+    EnvKnobDeprecationWarning,
+    TransformConfig,
+    TransformResult,
+    transform,
+)
+from repro.errors import ConfigError, ReproError
+from repro.pipeline.cli import main as cli_main
+from repro.search import fast_params
+
+from conftest import THREE_KERNEL_SRC
+
+
+def small_params(seed=1):
+    params = fast_params(seed=seed)
+    params.population = 16
+    params.generations = 15
+    params.stall_generations = 6
+    return params
+
+
+# -------------------------------------------------------------- precedence
+
+
+def test_default_when_nothing_set():
+    resolved = TransformConfig().resolved(environ={})
+    assert resolved.search_workers == 0
+    assert resolved.fitness_cache is True
+    assert resolved.verify_groups is True
+    assert resolved.verify_rtol == 0.0
+    assert resolved.block_exec == "auto"
+    assert resolved.telemetry is True
+    assert resolved.store is False
+
+
+def test_env_beats_default():
+    resolved = TransformConfig().resolved(
+        environ={"REPRO_SEARCH_WORKERS": "5", "REPRO_VERIFY_RTOL": "1e-6"}
+    )
+    assert resolved.search_workers == 5
+    assert resolved.verify_rtol == 1e-6
+
+
+def test_explicit_beats_env():
+    config = TransformConfig(search_workers=2, verify_groups=False)
+    resolved = config.resolved(
+        environ={"REPRO_SEARCH_WORKERS": "5", "REPRO_VERIFY_GROUPS": "1"}
+    )
+    assert resolved.search_workers == 2
+    assert resolved.verify_groups is False
+
+
+def test_legacy_env_knob_warns():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        TransformConfig().resolved(environ={"REPRO_EVAL_RETRIES": "3"})
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, EnvKnobDeprecationWarning)]
+    assert any("REPRO_EVAL_RETRIES" in m and "eval_retries" in m
+               for m in messages)
+
+
+def test_store_env_does_not_warn(tmp_path):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        resolved = TransformConfig().resolved(
+            environ={"REPRO_STORE": str(tmp_path)}
+        )
+    assert resolved.store is True
+    assert resolved.store_root == str(tmp_path)
+    assert not [w for w in caught
+                if issubclass(w.category, EnvKnobDeprecationWarning)]
+
+
+def test_malformed_env_value_falls_back_to_default():
+    resolved = TransformConfig().resolved(
+        environ={"REPRO_SEARCH_WORKERS": "many", "REPRO_VERIFY_RTOL": "tiny"}
+    )
+    assert resolved.search_workers == 0
+    assert resolved.verify_rtol == 0.0
+
+
+# ------------------------------------------------------------- round-trips
+
+
+def test_from_env_to_env_roundtrip(tmp_path):
+    env = {
+        "REPRO_FITNESS_CACHE": "0",
+        "REPRO_SEARCH_WORKERS": "4",
+        "REPRO_SEARCH_EXECUTOR": "process",
+        "REPRO_EVAL_RETRIES": "2",
+        "REPRO_VERIFY_SEED": "99",
+        "REPRO_STORE": str(tmp_path),
+    }
+    config = TransformConfig.from_env(env)
+    assert config.fitness_cache is False
+    assert config.search_workers == 4
+    assert config.search_executor == "process"
+    assert config.eval_retries == 2
+    assert config.verify_seed == 99
+    assert config.store is True and config.store_root == str(tmp_path)
+    back = config.to_env()
+    for name, value in env.items():
+        assert back[name] == value
+    # a second from_env over the exported dict is a fixpoint
+    assert TransformConfig.from_env(back) == config
+
+
+def test_to_env_omits_unset_fields():
+    assert TransformConfig().to_env() == {}
+    assert TransformConfig(verify_seed=7).to_env() == {"REPRO_VERIFY_SEED": "7"}
+
+
+def test_config_file_roundtrip(tmp_path):
+    config = TransformConfig(
+        device="K40",
+        mode="manual",
+        seed=7,
+        exclude=("boundary_k",),
+        verify_rtol=1e-7,
+        store=True,
+        store_root=str(tmp_path / "cache"),
+    )
+    path = tmp_path / "config.json"
+    config.to_json(path)
+    loaded = TransformConfig.from_file(path)
+    assert loaded == config
+
+
+def test_config_file_with_ga_params(tmp_path):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps({
+        "seed": 3,
+        "ga_params": {"population": 10, "generations": 5,
+                      "penalties": {}},
+    }))
+    loaded = TransformConfig.from_file(path)
+    assert loaded.ga_params.population == 10
+    assert loaded.ga_params.generations == 5
+
+
+# -------------------------------------------------------------- validation
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ConfigError, match="unknown config field"):
+        TransformConfig.from_dict({"not_a_field": 1})
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ConfigError):
+        TransformConfig(mode="turbo")
+    with pytest.raises(ConfigError):
+        TransformConfig(until="assembly")
+    with pytest.raises(ConfigError):
+        TransformConfig(device="RTX9090")
+    with pytest.raises(ConfigError):
+        TransformConfig(search_executor="fork")
+    with pytest.raises(ConfigError):
+        TransformConfig(block_exec="warp")
+
+
+def test_config_file_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{ nope")
+    with pytest.raises(ConfigError, match="not valid JSON"):
+        TransformConfig.from_file(path)
+
+
+def test_transform_unknown_override_rejected():
+    with pytest.raises(ConfigError, match="unknown config field"):
+        transform(THREE_KERNEL_SRC, banana=True)
+
+
+def test_transform_rejects_unsupported_input():
+    with pytest.raises(ConfigError, match="cannot transform"):
+        transform(12345)
+
+
+# -------------------------------------------------------------- applied_env
+
+
+def test_applied_env_exports_and_restores(monkeypatch):
+    monkeypatch.setenv("REPRO_SEARCH_WORKERS", "9")
+    monkeypatch.delenv("REPRO_VERIFY_SEED", raising=False)
+    config = TransformConfig(search_workers=1, verify_seed=5)
+    with config.applied_env():
+        assert os.environ["REPRO_SEARCH_WORKERS"] == "1"
+        assert os.environ["REPRO_VERIFY_SEED"] == "5"
+    assert os.environ["REPRO_SEARCH_WORKERS"] == "9"
+    assert "REPRO_VERIFY_SEED" not in os.environ
+
+
+# ------------------------------------------------------------------ facade
+
+
+def test_transform_source_text_end_to_end():
+    result = transform(
+        THREE_KERNEL_SRC, TransformConfig(ga_params=small_params())
+    )
+    assert isinstance(result, TransformResult)
+    assert result.verified is True
+    assert result.speedup is not None and result.speedup > 1.0
+    assert result.source is not None and "__global__" in result.source
+    assert result.reused == {}  # no store configured
+    assert set(result.stage_times) == {
+        "metadata", "targets", "graphs", "search", "codegen"
+    }
+    assert result.config.verify_groups is True  # resolved, not None
+
+
+def test_transform_until_stops_early():
+    result = transform(
+        THREE_KERNEL_SRC,
+        TransformConfig(ga_params=small_params(), until="graphs"),
+    )
+    assert result.program is None and result.source is None
+    assert result.speedup is None
+    assert "graphs" in result.reports and "search" not in result.reports
+
+
+def test_transform_overrides_apply():
+    result = transform(
+        THREE_KERNEL_SRC,
+        TransformConfig(ga_params=small_params()),
+        until="targets",
+    )
+    assert result.config.until == "targets"
+    assert list(result.reports) == ["metadata", "targets"]
+
+
+def test_transform_app_name():
+    result = transform("Fluam", until="metadata")
+    assert "metadata" in result.reports
+
+
+def test_transform_parse_error_raises():
+    with pytest.raises(ReproError):
+        transform("this is not CUDA", TransformConfig())
+
+
+def test_facade_matches_cli_output(tmp_path, capsys):
+    """The facade and the CLI must produce the identical program."""
+    source = tmp_path / "prog.cu"
+    source.write_text(THREE_KERNEL_SRC)
+    out = tmp_path / "out.cu"
+    rc = cli_main(
+        [str(source), "-o", str(out), "--seed", "1", "--no-telemetry"]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    params = fast_params(seed=1)
+    result = transform(
+        source, TransformConfig(ga_params=params, telemetry=False)
+    )
+    assert result.source == out.read_text()
+
+
+def test_cli_config_file(tmp_path, capsys):
+    source = tmp_path / "prog.cu"
+    source.write_text(THREE_KERNEL_SRC)
+    config_path = tmp_path / "config.json"
+    TransformConfig(until="targets", workdir=str(tmp_path / "wd")).to_json(
+        config_path
+    )
+    rc = cli_main([str(source), "--config", str(config_path)])
+    capsys.readouterr()
+    assert rc == 0
+    run = json.loads((tmp_path / "wd" / "run.json").read_text())
+    assert run["config"]["until"] == "targets"
+    # resolved env-backed fields are dumped concretely, not as null
+    assert run["config"]["verify_groups"] is True
+    assert run["config"]["block_exec"] == "auto"
+
+
+def test_cli_flag_overrides_config_file(tmp_path, capsys):
+    source = tmp_path / "prog.cu"
+    source.write_text(THREE_KERNEL_SRC)
+    config_path = tmp_path / "config.json"
+    TransformConfig(until="metadata").to_json(config_path)
+    rc = cli_main(
+        [str(source), "--config", str(config_path), "--until", "targets",
+         "--workdir", str(tmp_path / "wd")]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    run = json.loads((tmp_path / "wd" / "run.json").read_text())
+    assert run["config"]["until"] == "targets"
+
+
+def test_cli_bad_config_file(tmp_path, capsys):
+    source = tmp_path / "prog.cu"
+    source.write_text(THREE_KERNEL_SRC)
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"mode": "turbo"}')
+    rc = cli_main([str(source), "--config", str(bad)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "ConfigError" in captured.err
+
+
+def test_public_surface_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    assert repro.transform is transform
+    assert repro.TransformConfig is TransformConfig
