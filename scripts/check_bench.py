@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Gate a fresh benchmark record against the committed baseline.
+
+The search-throughput bench writes ``BENCH_pr6.json`` at the repo root;
+CI re-runs it and feeds the fresh record plus the committed copy through
+this script.  Three kinds of checks, from hardest to softest:
+
+* **exact** — machine-independent facts must match bit-for-bit: the
+  deterministic interpreter counter totals and the fitness pipeline's
+  lookup/evaluation counts.  Any drift here is a semantic change, not
+  noise.
+* **floors** — committed acceptance bars that must hold on any machine:
+  the compiled fitness evaluator >= 10x PR3's recorded uncached
+  baseline, the content-addressed cache >= 3x its own uncached
+  sequential replay, cache hit rate > 0.5.
+* **ratios** — timing-derived numbers (evals/sec, speedups) may not
+  regress below ``--tolerance`` (default 0.35) of the committed value.
+  Shared CI runners are noisy; this catches collapses, not jitter.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench.py \
+        --baseline BENCH_pr6.json --current /tmp/fresh/BENCH_pr6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: dotted paths whose values must match the baseline exactly
+EXACT = (
+    "schema",
+    "bench",
+    "interpreter_counters",
+    "fitness_pipeline.lookups",
+    "fitness_pipeline.evaluations",
+    "compiled_fitness.pr3_baseline_evals_per_sec",
+)
+
+#: (dotted path, minimum value) acceptance floors, machine-independent
+FLOORS = (
+    ("fitness_pipeline.cache_hit_rate", 0.5),
+    ("fitness_pipeline.speedup_vs_uncached", 3.0),
+    ("compiled_fitness.speedup_vs_pr3_baseline", 10.0),
+    ("batched_interpretation.speedup", 1.0),
+    ("batched_interpretation.compiled_speedup", 1.0),
+)
+
+#: dotted paths of timing-derived values gated by --tolerance; entries
+#: ending in ``_ms`` are lower-is-better (the ratio check inverts)
+RATIOS = (
+    "fitness_pipeline.baseline_evals_per_sec",
+    "fitness_pipeline.cached_evals_per_sec",
+    "fitness_pipeline.restart_evals_per_sec",
+    "compiled_fitness.compiled_evals_per_sec",
+    "parallel_evaluation.parallel4_evals_per_sec",
+    "batched_interpretation.speedup",
+    "batched_interpretation.compiled_speedup",
+)
+
+
+def lookup(record: dict, path: str):
+    value = record
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list:
+    problems = []
+    for path in EXACT:
+        want, got = lookup(baseline, path), lookup(current, path)
+        if want != got:
+            problems.append(f"exact mismatch at {path}: {want!r} -> {got!r}")
+    for path, floor in FLOORS:
+        got = lookup(current, path)
+        if got is None:
+            problems.append(f"missing value at {path} (floor {floor})")
+        elif got < floor:
+            problems.append(f"floor violated at {path}: {got} < {floor}")
+    for path in RATIOS:
+        want, got = lookup(baseline, path), lookup(current, path)
+        if want is None:
+            continue  # field not in the committed record yet
+        if got is None:
+            problems.append(f"missing value at {path} (baseline {want})")
+        elif got < tolerance * want:
+            problems.append(
+                f"regression at {path}: {got} < {tolerance} * baseline {want}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed benchmark record")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly generated benchmark record")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="minimum fraction of a baseline timing value "
+                             "(default: 0.35)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    problems = check(baseline, current, args.tolerance)
+    for problem in problems:
+        print(f"check_bench: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(
+        f"bench record OK: {len(EXACT)} exact, {len(FLOORS)} floors, "
+        f"{len(RATIOS)} ratio checks against {args.baseline.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

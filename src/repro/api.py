@@ -196,7 +196,8 @@ class TransformConfig:
     verify_seed: Optional[int] = None
     #: 0 = bitwise comparison, >0 = allclose rtol (REPRO_VERIFY_RTOL)
     verify_rtol: Optional[float] = None
-    #: interpreter strategy: 'auto' | 'loop' | 'batched' (REPRO_BLOCK_EXEC)
+    #: interpreter strategy: 'auto' | 'loop' | 'batched' | 'compiled'
+    #: (REPRO_BLOCK_EXEC)
     block_exec: Optional[str] = None
     #: observability layer on/off (REPRO_TELEMETRY)
     telemetry: Optional[bool] = None
@@ -233,10 +234,11 @@ class TransformConfig:
             "auto",
             "loop",
             "batched",
+            "compiled",
         ):
             raise ConfigError(
-                f"block_exec must be 'auto', 'loop' or 'batched', "
-                f"not {self.block_exec!r}"
+                f"block_exec must be 'auto', 'loop', 'batched' or "
+                f"'compiled', not {self.block_exec!r}"
             )
 
     # ---------------------------------------------------- env round-trip
@@ -544,6 +546,13 @@ def _store_provenance(
     }
 
 
+def _compiler_provenance() -> Dict[str, int]:
+    """Kernel-compiler cache counters (process-cumulative) for run.json."""
+    from .gpu import compiler
+
+    return compiler.stats().as_dict()
+
+
 def write_run_outputs(
     config: TransformConfig,
     source_label: str,
@@ -587,7 +596,10 @@ def write_run_outputs(
         demotions=demotions,
         exit_code=exit_code,
         error=error,
-        extra={"store": _store_provenance(state, store)},
+        extra={
+            "store": _store_provenance(state, store),
+            "compiled_kernels": _compiler_provenance(),
+        },
     )
     write_run_manifest(str(run_dir / "run.json"), manifest)
     if config.metrics_out:

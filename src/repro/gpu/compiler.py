@@ -1,0 +1,196 @@
+"""Compile CudaLite kernels once, execute them many times.
+
+This is the ``compiled`` execution mode's engine: a kernel is lowered
+(:mod:`repro.gpu.lowering`) into vectorized numpy Python source exactly
+once, ``compile()``d in-process, and cached two ways:
+
+* an in-memory code cache keyed by kernel content hash — repeated
+  launches of the same kernel (the common case: verification replays,
+  fitness sweeps, multi-step host loops) pay zero lowering cost, and
+  kernels that failed to lower are negatively cached so the fallback
+  decision is also taken once;
+* a persistent ``compiled_kernel`` namespace in :mod:`repro.store`
+  (enabled whenever ``REPRO_STORE`` enables the store, which
+  ``TransformConfig.applied_env`` exports during transforms) — warm runs
+  skip lowering entirely.  Only *source* is persisted, version-salted
+  like every other envelope, and recompiled on load.
+
+The cache key is the SHA-256 of the kernel's canonical unparsed text, so
+textually identical kernels share one compiled function across programs,
+and any edit changes the address.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..cudalite import ast_nodes as ast
+from ..errors import LoweringError
+from ..store.keys import kernel_fingerprint
+from .lowering import LOWERING_VERSION, lower_kernel, runtime_namespace
+
+__all__ = [
+    "CompiledKernel",
+    "CompilerStats",
+    "compile_kernel_source",
+    "get_compiled_kernel",
+    "kernel_fingerprint",
+    "reset_code_cache",
+    "stats",
+]
+
+logger = logging.getLogger(__name__)
+
+#: signature of a compiled kernel: (executor, initial mask) -> None
+CompiledFn = Callable[[object, object], None]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One lowered + compiled kernel."""
+
+    kernel: str
+    fingerprint: str
+    source: str
+    fn: CompiledFn
+
+
+@dataclass
+class CompilerStats:
+    """Cache behaviour of the in-process compiler (observability)."""
+
+    lowered: int = 0
+    memory_hits: int = 0
+    store_hits: int = 0
+    fallbacks: int = 0
+    fallback_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lowered": self.lowered,
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "fallbacks": self.fallbacks,
+            "fallback_hits": self.fallback_hits,
+        }
+
+
+_LOCK = threading.Lock()
+#: fingerprint -> CompiledKernel, or None for negatively-cached fallbacks
+_CODE_CACHE: Dict[str, Optional[CompiledKernel]] = {}
+_STATS = CompilerStats()
+
+
+def compile_kernel_source(
+    source: str, kernel_name: str, fingerprint: str
+) -> CompiledKernel:
+    """``compile()`` lowered source into an executable kernel closure."""
+    namespace = runtime_namespace()
+    code = compile(source, f"<compiled kernel {kernel_name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - executing our own generated source
+    return CompiledKernel(
+        kernel=kernel_name,
+        fingerprint=fingerprint,
+        source=source,
+        fn=namespace["_compiled_kernel"],
+    )
+
+
+def _store_and_key(fingerprint: str):
+    """Best-effort handle on the persistent store (None when disabled)."""
+    try:
+        from ..store import keys
+        from ..store.artifact_store import (
+            default_store_root,
+            open_store,
+            store_enabled_from_env,
+        )
+
+        if not store_enabled_from_env():
+            return None, None
+        store = open_store(default_store_root())
+        return store, keys.compiled_kernel_key(fingerprint, LOWERING_VERSION)
+    except Exception:  # store trouble must never break execution
+        logger.debug("compiled-kernel store unavailable", exc_info=True)
+        return None, None
+
+
+def get_compiled_kernel(kernel: ast.KernelDef, shape: str = "") -> Optional[CompiledFn]:
+    """Return the compiled function for ``kernel``, or None to fall back.
+
+    The lowered source is shape-independent (``shape`` is accepted for
+    symmetry with the executor's dispatch but does not key the cache).
+    Lowering failures are negatively cached; every path through here is
+    safe to call from concurrent evaluator threads.
+    """
+    fingerprint = kernel_fingerprint(kernel)
+    with _LOCK:
+        if fingerprint in _CODE_CACHE:
+            cached = _CODE_CACHE[fingerprint]
+            if cached is None:
+                _STATS.fallback_hits += 1
+                return None
+            _STATS.memory_hits += 1
+            return cached.fn
+    store, key = _store_and_key(fingerprint)
+    compiled: Optional[CompiledKernel] = None
+    if store is not None:
+        from ..store.stage_cache import load_compiled_kernel
+
+        source = load_compiled_kernel(store, key, LOWERING_VERSION)
+        if source is not None:
+            try:
+                compiled = compile_kernel_source(source, kernel.name, fingerprint)
+            except Exception:
+                logger.debug(
+                    "stored compiled kernel %s failed to recompile; relowering",
+                    kernel.name,
+                    exc_info=True,
+                )
+            else:
+                with _LOCK:
+                    _STATS.store_hits += 1
+                    _CODE_CACHE[fingerprint] = compiled
+                return compiled.fn
+    try:
+        source = lower_kernel(kernel)
+        compiled = compile_kernel_source(source, kernel.name, fingerprint)
+    except LoweringError as exc:
+        logger.debug("kernel %s not compiled: %s", kernel.name, exc)
+        with _LOCK:
+            _STATS.fallbacks += 1
+            _CODE_CACHE[fingerprint] = None
+        return None
+    with _LOCK:
+        _STATS.lowered += 1
+        _CODE_CACHE[fingerprint] = compiled
+    if store is not None:
+        from ..store.stage_cache import save_compiled_kernel
+
+        try:
+            save_compiled_kernel(
+                store, key, kernel.name, compiled.source, LOWERING_VERSION
+            )
+        except Exception:  # best-effort persistence
+            logger.debug("compiled kernel %s not persisted", kernel.name, exc_info=True)
+    return compiled.fn
+
+
+def stats() -> CompilerStats:
+    """Snapshot of the in-process compiler's cache counters."""
+    with _LOCK:
+        return CompilerStats(**_STATS.as_dict())
+
+
+def reset_code_cache() -> None:
+    """Drop the in-memory code cache and stats (tests / benchmarks)."""
+    with _LOCK:
+        _CODE_CACHE.clear()
+        _STATS.lowered = 0
+        _STATS.memory_hits = 0
+        _STATS.store_hits = 0
+        _STATS.fallbacks = 0
+        _STATS.fallback_hits = 0

@@ -34,7 +34,16 @@ Two execution strategies are used:
         detection.  Select explicitly via the ``block_exec`` argument of
         :func:`run_program` / :class:`HostInterpreter` or the
         ``REPRO_BLOCK_EXEC`` environment variable (``auto`` | ``loop`` |
-        ``batched``).
+        ``batched`` | ``compiled``).
+
+A third strategy, ``compiled``, lowers the kernel body once into generated
+numpy Python source (see :mod:`repro.gpu.compiler`) and runs the compiled
+closure over the same vectorized/batched lattices.  Kernels the lowerer
+cannot handle fall back per-kernel to the interpretation modes above;
+outputs and hardware-ish counters are bit-identical by construction
+because the generated code funnels every array access through the same
+:meth:`_KernelExec.load_values` / :meth:`_KernelExec.store_values` paths
+the tree-walker uses.
 
 Statements act as implicit barriers in both modes (a vectorized statement
 completes for every thread before the next begins).  ``__syncthreads()``
@@ -58,7 +67,7 @@ Scalar = Union[int, float, bool]
 Value = Union[Scalar, np.ndarray]
 
 ENV_BLOCK_EXEC = "REPRO_BLOCK_EXEC"
-_BLOCK_EXEC_MODES = ("auto", "loop", "batched")
+_BLOCK_EXEC_MODES = ("auto", "loop", "batched", "compiled")
 
 
 def block_exec_from_env(default: str = "auto") -> str:
@@ -167,6 +176,24 @@ def _c_mod(lhs: Value, rhs: Value) -> Value:
     return np.fmod(lhs, rhs)
 
 
+def _as_int(value: Value) -> Value:
+    """C-style truncating conversion of a declared ``int`` initializer."""
+    if isinstance(value, np.ndarray):
+        if not np.issubdtype(value.dtype, np.integer):
+            return np.trunc(value).astype(np.int64)
+        return value
+    return int(value)
+
+
+def _as_float(value: Value) -> Value:
+    """Widening conversion of a declared ``double``/``float`` initializer."""
+    if isinstance(value, np.ndarray):
+        if not np.issubdtype(value.dtype, np.floating):
+            return value.astype(np.float64)
+        return value
+    return float(value)
+
+
 _BINOPS = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
@@ -239,23 +266,52 @@ class _KernelExec:
         )
 
     def run(self) -> None:
-        if not self.uses_shared():
-            self._run_vectorized()
-            return
         mode = self.block_exec
         if mode not in _BLOCK_EXEC_MODES:
             raise InterpreterError(f"unknown block_exec mode {mode!r}")
+        if mode == "compiled" and not self.detect_races and self._run_compiled():
+            return
+        if not self.uses_shared():
+            self._run_vectorized()
+            return
         if self.detect_races:
             # the scatter race checks reason about one block at a time;
             # cross-block writes in the same statement would be flagged as
             # intra-block races under batching
             mode = "loop"
-        elif mode == "auto":
+        elif mode in ("auto", "compiled"):
             mode = "batched" if self._batchable() else "loop"
         if mode == "batched":
             self._run_batched()
         else:
             self._run_per_block()
+
+    def _run_compiled(self) -> bool:
+        """Execute via generated numpy code; False requests interpretation.
+
+        Compilation targets the same two lattices the interpreter uses:
+        the full-thread vectorized lattice for kernels without shared
+        memory and the batched ``(nb, bx, by, bz)`` lattice for batchable
+        shared kernels.  Loop-mode kernels (block-variant bounds, global
+        read+write conflicts) and lowering failures fall back per kernel.
+        """
+        from . import compiler  # deferred: the compiler imports this module
+
+        if not self.uses_shared():
+            shape = "vectorized"
+        elif self._batchable():
+            shape = "batched"
+        else:
+            return False
+        fn = compiler.get_compiled_kernel(self.kernel, shape)
+        if fn is None:
+            return False
+        if shape == "vectorized":
+            self._setup_vectorized()
+        else:
+            self._setup_batched()
+        fn(self, np.ones((), dtype=bool))
+        return True
 
     def _batchable(self) -> bool:
         """True when batched execution is bit-equivalent to the block loop.
@@ -395,7 +451,7 @@ class _KernelExec:
             blocks.reverse()
         return blocks
 
-    def _run_vectorized(self) -> None:
+    def _setup_vectorized(self) -> None:
         gx, gy, gz = self.grid.as_tuple()
         bx, by, bz = self.block.as_tuple()
         nx, ny, nz = gx * bx, gy * by, gz * bz
@@ -406,8 +462,9 @@ class _KernelExec:
         az = np.arange(nz).reshape(1, 1, nz)
         self.tidx = {"x": ax % bx, "y": ay % by, "z": az % bz}
         self.bidx = {"x": ax // bx, "y": ay // by, "z": az // bz}
-        base_env = dict(self.env)
-        self.env = base_env
+
+    def _run_vectorized(self) -> None:
+        self._setup_vectorized()
         mask = np.ones((), dtype=bool)  # scalar True: all threads active
         self._exec_block(self.kernel.body, mask)
 
@@ -428,8 +485,9 @@ class _KernelExec:
             mask = np.ones((), dtype=bool)
             self._exec_block(self.kernel.body, mask)
 
-    def _run_batched(self) -> None:
-        """Per-block semantics, one extra numpy axis instead of a loop.
+    def _setup_batched(self) -> None:
+        """Prepare the batched lattice: per-block semantics, one extra
+        numpy axis instead of a loop.
 
         The lattice is ``(nb, bx, by, bz)``: axis 0 enumerates the blocks
         of the launch grid *in visit order* (so numpy's last-wins scatter
@@ -454,6 +512,9 @@ class _KernelExec:
             "z": np.array([b[2] for b in blocks]).reshape(nb, 1, 1, 1),
         }
         self._block_axis = np.arange(nb).reshape(nb, 1, 1, 1)
+
+    def _run_batched(self) -> None:
+        self._setup_batched()
         mask = np.ones((), dtype=bool)
         self._exec_block(self.kernel.body, mask)
 
@@ -517,17 +578,22 @@ class _KernelExec:
         else:
             raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
 
+    def decl_shared(self, name: str, dims: List[int], base: str) -> None:
+        """Allocate a shared tile (also the compiled-kernel entry point)."""
+        dims = [int(d) for d in dims]
+        dtype = np.float64 if base in ("double", "float") else np.int64
+        if self._block_axis is not None:
+            # one tile per block, stacked along the batch axis
+            dims = [self.lattice_shape[0]] + dims
+        self.shared[name] = np.zeros(tuple(dims), dtype=dtype)
+
     def _exec_decl(self, decl: ast.VarDecl, mask: Value) -> None:
         if decl.is_shared:
-            dims = []
-            for dim in decl.array_dims:
-                value = self._eval_scalar(dim, "shared array dimension")
-                dims.append(int(value))
-            dtype = np.float64 if decl.type.base in ("double", "float") else np.int64
-            if self._block_axis is not None:
-                # one tile per block, stacked along the batch axis
-                dims = [self.lattice_shape[0]] + dims
-            self.shared[decl.name] = np.zeros(tuple(dims), dtype=dtype)
+            dims = [
+                int(self._eval_scalar(dim, "shared array dimension"))
+                for dim in decl.array_dims
+            ]
+            self.decl_shared(decl.name, dims, decl.type.base)
             return
         if decl.array_dims:
             raise InterpreterError(
@@ -538,24 +604,10 @@ class _KernelExec:
         else:
             value = self._eval(decl.init, mask)
             if decl.type.base == "int":
-                value = self._as_int(value)
+                value = _as_int(value)
             elif decl.type.base in ("double", "float"):
-                value = self._as_float(value)
+                value = _as_float(value)
         self.env[decl.name] = value
-
-    def _as_int(self, value: Value) -> Value:
-        if isinstance(value, np.ndarray):
-            if not np.issubdtype(value.dtype, np.integer):
-                return np.trunc(value).astype(np.int64)
-            return value
-        return int(value)
-
-    def _as_float(self, value: Value) -> Value:
-        if isinstance(value, np.ndarray):
-            if not np.issubdtype(value.dtype, np.floating):
-                return value.astype(np.float64)
-            return value
-        return float(value)
 
     def _exec_assign(self, stmt: ast.Assign, mask: Value) -> None:
         value = self._eval(stmt.value, mask)
@@ -589,16 +641,15 @@ class _KernelExec:
             return value
         raise InterpreterError(f"{name!r} is not an array")
 
-    def _index_arrays(
-        self, target: ast.Index, mask: Value
-    ) -> Tuple[np.ndarray, List[np.ndarray], List[Value]]:
-        """Resolve an index expression to (array, prefix, user indices).
+    def _resolve_access(
+        self, name: Optional[str], nidx: int
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Resolve an array access to (array, prefix).
 
         ``prefix`` is the implicit leading block-axis index for batched
         shared arrays (empty otherwise); the user-visible dimensionality
         is checked against the declared shape without the batch axis.
         """
-        name = target.array_name
         if name is None:
             raise InterpreterError("array base must be a name")
         arr = self._lookup_array(name)
@@ -607,11 +658,16 @@ class _KernelExec:
         if self._block_axis is not None and name in self.shared:
             prefix = [self._block_axis]
             ndim -= 1
-        if len(target.indices) != ndim:
+        if nidx != ndim:
             raise InterpreterError(
-                f"array {name!r} has {ndim} dims, indexed with "
-                f"{len(target.indices)}"
+                f"array {name!r} has {ndim} dims, indexed with {nidx}"
             )
+        return arr, prefix
+
+    def _index_arrays(
+        self, target: ast.Index, mask: Value
+    ) -> Tuple[np.ndarray, List[np.ndarray], List[Value]]:
+        arr, prefix = self._resolve_access(target.array_name, len(target.indices))
         idxs = [self._eval(e, mask) for e in target.indices]
         return arr, prefix, idxs
 
@@ -747,6 +803,29 @@ class _KernelExec:
     def _store_array(self, target: ast.Index, value: Value, mask: Value) -> None:
         arr, prefix, idxs = self._index_arrays(target, mask)
         name = target.array_name or "<anon>"
+        self._finish_store(name, arr, prefix, idxs, value, mask)
+
+    def store_values(
+        self, name: str, idxs: List[Value], value: Value, mask: Value
+    ) -> None:
+        """Masked scatter into array ``name`` (compiled-kernel entry point).
+
+        Shares validation, counters and scatter semantics with the AST
+        path (:meth:`_store_array`) so compiled and interpreted execution
+        are bit-identical by construction.
+        """
+        arr, prefix = self._resolve_access(name, len(idxs))
+        self._finish_store(name, arr, prefix, list(idxs), value, mask)
+
+    def _finish_store(
+        self,
+        name: str,
+        arr: np.ndarray,
+        prefix: List[np.ndarray],
+        idxs: List[Value],
+        value: Value,
+        mask: Value,
+    ) -> None:
         idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
         if self.counters is not None:
             self.counters.count_store(
@@ -974,6 +1053,25 @@ class _KernelExec:
     def _eval_index(self, expr: ast.Index, mask: Value) -> Value:
         arr, prefix, idxs = self._index_arrays(expr, mask)
         name = expr.array_name or "<anon>"
+        return self._finish_load(name, arr, prefix, idxs, mask)
+
+    def load_values(self, name: str, idxs: List[Value], mask: Value) -> Value:
+        """Gather from array ``name`` (compiled-kernel entry point).
+
+        Same bounds validation, counter increments and gather semantics
+        as the AST path (:meth:`_eval_index`).
+        """
+        arr, prefix = self._resolve_access(name, len(idxs))
+        return self._finish_load(name, arr, prefix, list(idxs), mask)
+
+    def _finish_load(
+        self,
+        name: str,
+        arr: np.ndarray,
+        prefix: List[np.ndarray],
+        idxs: List[Value],
+        mask: Value,
+    ) -> Value:
         idxs = self._validate_indices(name, arr, idxs, mask, offset=len(prefix))
         if self.counters is not None:
             self.counters.count_load(

@@ -1,0 +1,530 @@
+"""Lowering CudaLite kernels to generated numpy Python source.
+
+The tree-walking interpreter pays Python dispatch per AST node per
+statement execution.  This module removes that cost by lowering a kernel
+body *once* into straight-line Python source — a function of the executing
+:class:`~repro.gpu.interpreter._KernelExec` and the initial thread mask —
+that the compiler (:mod:`repro.gpu.compiler`) ``compile()``s and caches.
+
+Bit-identical by construction
+-----------------------------
+The generated code is not an independent reimplementation of the
+semantics: every array access funnels through the interpreter's own
+``load_values`` / ``store_values`` / ``decl_shared`` methods, which carry
+the bounds validation, hardware-ish counter increments and scatter
+resolution rules.  Scalar control flow (masks, loop protocols, the
+divergence counter) is emitted as a statement-for-statement transcription
+of ``_KernelExec._exec_stmt``.  Outputs and counters therefore match the
+tree-walker exactly, in all execution shapes (the same lowered source
+serves both the vectorized and the batched lattice — all shape-specific
+state lives on the executor).
+
+What does not lower
+-------------------
+Constructs whose faithful execution needs the interpreter's dynamic
+environment raise :class:`~repro.errors.LoweringError`, and the compiled
+mode falls back per kernel:
+
+* local (non-``__shared__``) arrays, unknown calls, malformed targets —
+  anything the interpreter itself would reject at runtime;
+* reads of variables that are only *conditionally* defined (assigned in
+  one branch, read later) — the interpreter resolves these against its
+  live environment;
+* generated sources exceeding :data:`MAX_LINES` (deeply nested
+  data-dependent control flow duplicates branch bodies along the
+  vector/scalar mask split).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..cudalite import ast_nodes as ast
+from ..errors import InterpreterError, LoweringError
+
+__all__ = [
+    "LOWERING_VERSION",
+    "MAX_LINES",
+    "LoweringError",
+    "lower_kernel",
+    "runtime_namespace",
+]
+
+#: Salt for persistent compiled-kernel artifacts: bump on any change to
+#: the generated code's semantics so stale sources are never reloaded.
+LOWERING_VERSION = 1
+
+#: Upper bound on emitted source lines before lowering gives up.
+MAX_LINES = 4000
+
+_GEOMETRY = {
+    ("threadIdx", "x"): "_tix",
+    ("threadIdx", "y"): "_tiy",
+    ("threadIdx", "z"): "_tiz",
+    ("blockIdx", "x"): "_bix",
+    ("blockIdx", "y"): "_biy",
+    ("blockIdx", "z"): "_biz",
+    ("blockDim", "x"): "_bdx",
+    ("blockDim", "y"): "_bdy",
+    ("blockDim", "z"): "_bdz",
+    ("gridDim", "x"): "_gdx",
+    ("gridDim", "y"): "_gdy",
+    ("gridDim", "z"): "_gdz",
+}
+
+#: Math calls map to the same numpy callables the interpreter dispatches
+#: to (`_MATH_FUNCS` / `_MATH_FUNCS2`), referenced by attribute.
+_MATH1_CODE = {
+    "sqrt": "np.sqrt",
+    "fabs": "np.abs",
+    "abs": "np.abs",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+}
+
+_MATH2_CODE = {
+    "pow": "np.power",
+    "min": "np.minimum",
+    "max": "np.maximum",
+    "fmin": "np.minimum",
+    "fmax": "np.maximum",
+}
+
+_ARITH_OPS = {"+", "-", "*", "<", "<=", ">", ">=", "==", "!="}
+
+
+def _rt_scalar(value, what):
+    """Runtime guard for thread-invariant contexts (loop bounds, extents)."""
+    if isinstance(value, np.ndarray) and value.ndim > 0:
+        raise InterpreterError(f"{what} must be thread-invariant")
+    if isinstance(value, np.ndarray):
+        return value.item()
+    return value
+
+
+def _rt_ternary(cond, then, els):
+    """Runtime `?:` with the interpreter's eager-both-arms semantics."""
+    if isinstance(cond, np.ndarray) and cond.ndim > 0:
+        return np.where(cond, then, els)
+    return then if bool(cond) else els
+
+
+def runtime_namespace() -> Dict[str, object]:
+    """Globals every compiled kernel executes under."""
+    from . import interpreter as _interp
+
+    return {
+        "np": np,
+        "InterpreterError": InterpreterError,
+        "_ReturnSignal": _interp._ReturnSignal,
+        "_c_div": _interp._c_div,
+        "_c_mod": _interp._c_mod,
+        "_as_int": _interp._as_int,
+        "_as_float": _interp._as_float,
+        "_scalar": _rt_scalar,
+        "_ternary": _rt_ternary,
+        "_ONES": np.ones((), dtype=bool),
+    }
+
+
+def _mangle(name: str) -> str:
+    return "v_" + name
+
+
+class _Lowerer:
+    """Single-use lowering pass over one kernel definition."""
+
+    def __init__(self, kernel: ast.KernelDef) -> None:
+        self.kernel = kernel
+        self.lines: List[str] = []
+        self.tmp = 0
+        #: static definedness of user variables: "def" (assigned on every
+        #: path) or "maybe" (assigned on some path); absent = never.
+        self.scope: Dict[str, str] = {p.name: "def" for p in kernel.params}
+        self.shared_names: Set[str] = set()
+
+    # -------------------------------------------------------------- emission
+
+    def emit(self, indent: int, line: str) -> None:
+        if len(self.lines) >= MAX_LINES:
+            raise LoweringError(
+                f"kernel {self.kernel.name!r}: generated source exceeds "
+                f"{MAX_LINES} lines"
+            )
+        self.lines.append("    " * indent + line)
+
+    def temp(self, prefix: str = "_t") -> str:
+        self.tmp += 1
+        return f"{prefix}{self.tmp}"
+
+    def lower(self) -> str:
+        self.emit(0, "def _compiled_kernel(ex, _m0):")
+        self.emit(1, "_env = ex.env")
+        self.emit(1, "_tix = ex.tidx['x']; _tiy = ex.tidx['y']; _tiz = ex.tidx['z']")
+        self.emit(1, "_bix = ex.bidx['x']; _biy = ex.bidx['y']; _biz = ex.bidx['z']")
+        self.emit(1, "_bdx = ex.bdim['x']; _bdy = ex.bdim['y']; _bdz = ex.bdim['z']")
+        self.emit(1, "_gdx = ex.gdim['x']; _gdy = ex.gdim['y']; _gdz = ex.gdim['z']")
+        for param in self.kernel.params:
+            self.emit(1, f"{_mangle(param.name)} = _env[{param.name!r}]")
+        body = self.kernel.body.stmts
+        if not body:
+            self.emit(1, "pass")
+        for stmt in body:
+            self.stmt(stmt, 1, "_m0", False)
+        return "\n".join(self.lines) + "\n"
+
+    # ----------------------------------------------------------- expressions
+
+    def expr(self, node: ast.Expr, mask: str) -> str:
+        """Lower one expression to a Python expression string.
+
+        ``mask`` is the variable (or ``_ONES``) holding the active-thread
+        mask under which the expression is evaluated — it only reaches
+        array accesses, where it drives validation and counters.
+        """
+        if isinstance(node, ast.IntLit):
+            return repr(node.value)
+        if isinstance(node, ast.FloatLit):
+            if not math.isfinite(node.value):
+                raise LoweringError("non-finite float literal")
+            return repr(node.value)
+        if isinstance(node, ast.BoolLit):
+            return "True" if node.value else "False"
+        if isinstance(node, ast.Ident):
+            name = node.name
+            if self.scope.get(name) == "def":
+                return _mangle(name)
+            raise LoweringError(
+                f"read of conditionally-defined or unknown name {name!r}"
+            )
+        if isinstance(node, ast.Member):
+            if not isinstance(node.obj, ast.Ident):
+                raise LoweringError("unsupported member access")
+            local = _GEOMETRY.get((node.obj.name, node.field_name))
+            if local is None:
+                raise LoweringError(
+                    f"unknown builtin member {node.obj.name}.{node.field_name}"
+                )
+            return local
+        if isinstance(node, ast.Index):
+            name = node.array_name
+            if name is None:
+                raise LoweringError("array base must be a name")
+            idxs = ", ".join(self.expr(e, mask) for e in node.indices)
+            return f"ex.load_values({name!r}, [{idxs}], {mask})"
+        if isinstance(node, ast.Call):
+            return self.call(node, mask)
+        if isinstance(node, ast.Unary):
+            operand = self.expr(node.operand, mask)
+            if node.op == "-":
+                return f"(-({operand}))"
+            if node.op == "!":
+                return f"np.logical_not({operand})"
+            return f"({operand})"
+        if isinstance(node, ast.Binary):
+            return self.binop(
+                node.op, self.expr(node.lhs, mask), self.expr(node.rhs, mask)
+            )
+        if isinstance(node, ast.Ternary):
+            cond = self.expr(node.cond, mask)
+            then = self.expr(node.then, mask)
+            els = self.expr(node.els, mask)
+            return f"_ternary({cond}, {then}, {els})"
+        raise LoweringError(f"unsupported expression {type(node).__name__}")
+
+    def binop(self, op: str, lhs: str, rhs: str) -> str:
+        if op in _ARITH_OPS:
+            return f"(({lhs}) {op} ({rhs}))"
+        if op == "/":
+            return f"_c_div({lhs}, {rhs})"
+        if op == "%":
+            return f"_c_mod({lhs}, {rhs})"
+        if op == "&&":
+            return f"np.logical_and({lhs}, {rhs})"
+        if op == "||":
+            return f"np.logical_or({lhs}, {rhs})"
+        raise LoweringError(f"unsupported operator {op!r}")
+
+    def call(self, node: ast.Call, mask: str) -> str:
+        args = [self.expr(a, mask) for a in node.args]
+        if node.func in _MATH1_CODE:
+            if len(args) != 1:
+                raise LoweringError(f"{node.func} expects 1 argument")
+            return f"{_MATH1_CODE[node.func]}({args[0]})"
+        if node.func in _MATH2_CODE:
+            if len(args) != 2:
+                raise LoweringError(f"{node.func} expects 2 arguments")
+            return f"{_MATH2_CODE[node.func]}({args[0]}, {args[1]})"
+        raise LoweringError(f"unknown kernel function {node.func!r}")
+
+    def scalar_expr(self, node: ast.Expr, what: str) -> str:
+        """Thread-invariant context: fresh all-true mask, runtime guard."""
+        return f"_scalar({self.expr(node, '_ONES')}, {what!r})"
+
+    # ------------------------------------------------------------ statements
+
+    def stmt(self, node: ast.Stmt, ind: int, mask: str, vector: bool) -> None:
+        if isinstance(node, ast.VarDecl):
+            self.decl(node, ind, mask)
+        elif isinstance(node, ast.Assign):
+            self.assign(node, ind, mask, vector)
+        elif isinstance(node, ast.If):
+            self.if_stmt(node, ind, mask, vector)
+        elif isinstance(node, ast.For):
+            self.for_stmt(node, ind, mask, vector)
+        elif isinstance(node, ast.While):
+            self.while_stmt(node, ind, mask, vector)
+        elif isinstance(node, ast.SyncThreads):
+            self.emit(ind, "if ex.counters is not None:")
+            self.emit(ind + 1, "ex.counters.syncthreads += ex._blocks_covered")
+        elif isinstance(node, ast.ExprStmt):
+            self.emit(ind, self.expr(node.expr, mask))
+        elif isinstance(node, ast.Return):
+            self.emit(ind, "raise _ReturnSignal()")
+        elif isinstance(node, ast.Block):
+            for s in node.stmts:
+                self.stmt(s, ind, mask, vector)
+        else:
+            raise LoweringError(f"unsupported statement {type(node).__name__}")
+
+    def decl(self, node: ast.VarDecl, ind: int, mask: str) -> None:
+        if node.is_shared:
+            dims = ", ".join(
+                f"int({self.scalar_expr(d, 'shared array dimension')})"
+                for d in node.array_dims
+            )
+            self.emit(
+                ind,
+                f"ex.decl_shared({node.name!r}, [{dims}], {node.type.base!r})",
+            )
+            self.shared_names.add(node.name)
+            return
+        if node.array_dims:
+            raise LoweringError(
+                f"local array {node.name!r} without __shared__ is unsupported"
+            )
+        target = _mangle(node.name)
+        if node.init is None:
+            value = "0" if node.type.base == "int" else "0.0"
+        else:
+            value = self.expr(node.init, mask)
+            if node.type.base == "int":
+                value = f"_as_int({value})"
+            elif node.type.base in ("double", "float"):
+                value = f"_as_float({value})"
+        # declarations assign unconditionally, exactly like _exec_decl
+        self.emit(ind, f"{target} = {value}")
+        self.scope[node.name] = "def"
+
+    def assign(self, node: ast.Assign, ind: int, mask: str, vector: bool) -> None:
+        tmp = self.temp()
+        self.emit(ind, f"{tmp} = {self.expr(node.value, mask)}")
+        target = node.target
+        if isinstance(target, ast.Ident):
+            name = target.name
+            if name in self.shared_names:
+                raise LoweringError(f"scalar store to shared array {name!r}")
+            if node.op != "=":
+                if self.scope.get(name) != "def":
+                    raise LoweringError(
+                        f"compound assignment to undefined name {name!r}"
+                    )
+                self.emit(
+                    ind, f"{tmp} = {self.binop(node.op[0], _mangle(name), tmp)}"
+                )
+            state = self.scope.get(name)
+            if not vector:
+                self.emit(ind, f"{_mangle(name)} = {tmp}")
+            elif state == "def":
+                # _store_scalar: inactive threads keep their old value
+                self.emit(
+                    ind,
+                    f"{_mangle(name)} = np.where({mask}, {tmp}, {_mangle(name)})",
+                )
+            elif state is None:
+                # never assigned on any path: env.get() would yield 0
+                self.emit(ind, f"{_mangle(name)} = np.where({mask}, {tmp}, 0)")
+            else:
+                raise LoweringError(
+                    f"masked store to conditionally-defined name {name!r}"
+                )
+            self.scope[name] = "def"
+            return
+        if isinstance(target, ast.Index):
+            name = target.array_name
+            if name is None:
+                raise LoweringError("array base must be a name")
+
+            def idx_code() -> str:
+                # index expressions are evaluated once per access; compound
+                # assignment therefore evaluates them twice (load + store),
+                # exactly like _exec_assign -> _eval + _store_array
+                return ", ".join(self.expr(e, mask) for e in target.indices)
+
+            if node.op != "=":
+                cur = self.temp()
+                self.emit(
+                    ind,
+                    f"{cur} = ex.load_values({name!r}, [{idx_code()}], {mask})",
+                )
+                self.emit(ind, f"{tmp} = {self.binop(node.op[0], cur, tmp)}")
+            self.emit(
+                ind,
+                f"ex.store_values({name!r}, [{idx_code()}], {tmp}, {mask})",
+            )
+            return
+        raise LoweringError("invalid assignment target")
+
+    def if_stmt(self, node: ast.If, ind: int, mask: str, vector: bool) -> None:
+        cond = self.temp("_c")
+        self.emit(ind, f"{cond} = {self.expr(node.cond, mask)}")
+        self.emit(ind, f"if isinstance({cond}, np.ndarray) and {cond}.ndim > 0:")
+        before = dict(self.scope)
+        # --- vector condition: mask split, body under np.any guards -------
+        vmask = self.temp("_m")
+        self.emit(ind + 1, f"{vmask} = np.logical_and({mask}, {cond})")
+        self.emit(ind + 1, "if ex.counters is not None:")
+        self.emit(
+            ind + 2,
+            f"if np.any({vmask}) and "
+            f"np.any(np.logical_and({mask}, np.logical_not({cond}))):",
+        )
+        self.emit(ind + 3, "ex.counters.branch_divergence += 1")
+        self.emit(ind + 1, f"if np.any({vmask}):")
+        self.block_body(node.then, ind + 2, vmask, True)
+        v_then = self.scope
+        self.scope = dict(before)
+        if node.els is not None:
+            emask = self.temp("_m")
+            self.emit(
+                ind + 1,
+                f"{emask} = np.logical_and({mask}, np.logical_not({cond}))",
+            )
+            self.emit(ind + 1, f"if np.any({emask}):")
+            self.block_body(node.els, ind + 2, emask, True)
+        v_else = self.scope
+        # --- scalar condition: plain Python branch ------------------------
+        self.scope = dict(before)
+        self.emit(ind, "else:")
+        self.emit(ind + 1, f"if bool({cond}):")
+        self.block_body(node.then, ind + 2, mask, vector)
+        s_then = self.scope
+        self.scope = dict(before)
+        if node.els is not None:
+            self.emit(ind + 1, "else:")
+            self.block_body(node.els, ind + 2, mask, vector)
+        s_else = self.scope
+        self.scope = self.merge_scopes(before, [v_then, v_else, s_then, s_else])
+
+    def block_body(self, block: ast.Block, ind: int, mask: str, vector: bool) -> None:
+        if not block.stmts:
+            self.emit(ind, "pass")
+            return
+        for s in block.stmts:
+            self.stmt(s, ind, mask, vector)
+
+    def merge_scopes(
+        self, before: Dict[str, str], branches: List[Dict[str, str]]
+    ) -> Dict[str, str]:
+        """Join definedness across branch outcomes (see class docstring)."""
+        merged = dict(before)
+        names: Set[str] = set()
+        for b in branches:
+            names.update(b)
+        for name in names:
+            if before.get(name) == "def":
+                merged[name] = "def"
+            elif all(b.get(name) == "def" for b in branches):
+                merged[name] = "def"
+            elif any(b.get(name) for b in branches):
+                merged[name] = "maybe"
+        return merged
+
+    def for_stmt(self, node: ast.For, ind: int, mask: str, vector: bool) -> None:
+        start = self.temp("_f")
+        bound = self.temp("_f")
+        step = self.temp("_f")
+        end = self.temp("_f")
+        var = self.temp("_f")
+        self.emit(ind, f"{start} = {self.scalar_expr(node.start, 'loop start')}")
+        self.emit(ind, f"{bound} = {self.scalar_expr(node.bound, 'loop bound')}")
+        self.emit(ind, f"{step} = {self.scalar_expr(node.step, 'loop step')}")
+        self.emit(ind, f"if {step} <= 0:")
+        self.emit(ind + 1, "raise InterpreterError('loop step must be positive')")
+        if node.cmp == "<=":
+            self.emit(ind, f"{end} = {bound} + 1")
+        else:
+            self.emit(ind, f"{end} = {bound}")
+        before = dict(self.scope)
+        prior = self.scope.get(node.var)
+        saved = None
+        if prior == "def":
+            saved = self.temp("_s")
+            self.emit(ind, f"{saved} = {_mangle(node.var)}")
+        elif prior == "maybe":
+            raise LoweringError(
+                f"loop variable {node.var!r} shadows a conditionally-defined name"
+            )
+        self.emit(ind, f"{var} = {start}")
+        self.emit(ind, f"while {var} < {end}:")
+        self.scope[node.var] = "def"
+        self.emit(ind + 1, f"{_mangle(node.var)} = int({var})")
+        self.block_body(node.body, ind + 1, mask, vector)
+        self.emit(ind + 1, f"{var} = {var} + {step}")
+        body_scope = self.scope
+        # the loop may run zero times: body definitions are conditional,
+        # and the loop variable reverts to its pre-loop state (_MISSING
+        # protocol of _exec_for)
+        self.scope = self.merge_scopes(before, [body_scope, dict(before)])
+        if saved is not None:
+            self.emit(ind, f"{_mangle(node.var)} = {saved}")
+            self.scope[node.var] = "def"
+        else:
+            self.scope.pop(node.var, None)
+
+    def while_stmt(self, node: ast.While, ind: int, mask: str, vector: bool) -> None:
+        count = self.temp("_w")
+        cond = self.temp("_c")
+        self.emit(ind, f"{count} = 0")
+        self.emit(ind, "while True:")
+        before = dict(self.scope)
+        self.emit(ind + 1, f"{cond} = {self.expr(node.cond, mask)}")
+        self.emit(
+            ind + 1, f"if isinstance({cond}, np.ndarray) and {cond}.ndim > 0:"
+        )
+        self.emit(
+            ind + 2,
+            "raise InterpreterError('thread-dependent while condition unsupported')",
+        )
+        self.emit(ind + 1, f"if not bool({cond}):")
+        self.emit(ind + 2, "break")
+        self.block_body(node.body, ind + 1, mask, vector)
+        self.emit(ind + 1, f"{count} = {count} + 1")
+        self.emit(ind + 1, f"if {count} > 10000000:")
+        self.emit(
+            ind + 2,
+            "raise InterpreterError('while loop exceeded iteration limit')",
+        )
+        self.scope = self.merge_scopes(before, [self.scope, dict(before)])
+
+
+def lower_kernel(kernel: ast.KernelDef) -> str:
+    """Lower ``kernel`` to Python source defining ``_compiled_kernel``.
+
+    The lowered source is shape-independent: the same function executes
+    on the vectorized and the batched lattice, because all shape-specific
+    state (thread coordinates, block axis, shared-tile stacking) lives on
+    the executor it closes over.
+
+    Raises :class:`LoweringError` for constructs the lowerer cannot
+    compile faithfully; callers fall back to tree-walking interpretation.
+    """
+    return _Lowerer(kernel).lower()

@@ -18,7 +18,12 @@ switch (``REPRO_TELEMETRY`` / :func:`set_telemetry_enabled`):
   manifest and the counters-vs-perf-model validation report.
 """
 
-from .hwcounters import KernelCounters, aggregate_counters
+from .hwcounters import (
+    MODE_INVARIANT_FIELDS,
+    KernelCounters,
+    aggregate_counters,
+    counters_signature,
+)
 from .metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -49,7 +54,9 @@ __all__ = [
     "ModelValidationReport",
     "SpanRecord",
     "Tracer",
+    "MODE_INVARIANT_FIELDS",
     "aggregate_counters",
+    "counters_signature",
     "build_run_manifest",
     "env_knobs",
     "get_registry",

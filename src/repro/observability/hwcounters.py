@@ -25,7 +25,13 @@ Counter semantics (deterministic, hand-countable, identical across the
     on which the active threads disagree (both outcomes taken).  This is
     a launch-level approximation of warp divergence — coarser than a warp
     scoreboard but exactly the effect the performance model's
-    ``divergence_factor`` charges.
+    ``divergence_factor`` charges.  Unlike the other counters it is
+    *execution-shape dependent*: the per-block loop sees one ``if``
+    execution per block where the whole-grid lattices see one, so loop
+    totals can legitimately exceed batched/vectorized totals.  The
+    ``compiled`` mode matches the lattice it runs on (vectorized or
+    batched) bit-exactly; :func:`counters_signature` provides the
+    mode-invariant projection for cross-mode differential checks.
 
 Counting is opt-in (``collect_counters=True`` on the interpreter entry
 points); when off, the interpreter's hot paths pay one ``is not None``
@@ -100,6 +106,42 @@ class KernelCounters:
             "syncthreads": self.syncthreads,
             "branch_divergence": self.branch_divergence,
         }
+
+
+#: counters whose totals are identical across loop/batched/vectorized/
+#: compiled execution (branch_divergence is per execution site, which the
+#: per-block loop visits once per block)
+MODE_INVARIANT_FIELDS = (
+    "launches",
+    "global_loads",
+    "global_stores",
+    "shared_loads",
+    "shared_stores",
+    "global_load_bytes",
+    "global_store_bytes",
+    "syncthreads",
+)
+
+
+def counters_signature(
+    counters: Iterable[Optional[KernelCounters]],
+    include_divergence: bool = False,
+) -> Dict[str, Dict[str, int]]:
+    """Canonical per-kernel totals for differential comparison.
+
+    By default projects onto :data:`MODE_INVARIANT_FIELDS`, which must
+    compare equal across *all* execution modes; with
+    ``include_divergence`` the full counter set is returned, which must
+    compare equal between ``compiled`` and the interpretation mode whose
+    lattice it shares (``auto``).
+    """
+    fields = MODE_INVARIANT_FIELDS + (
+        ("branch_divergence",) if include_divergence else ()
+    )
+    return {
+        kernel: {f: int(getattr(total, f)) for f in fields}
+        for kernel, total in sorted(aggregate_counters(counters, by_kernel=True).items())
+    }
 
 
 def aggregate_counters(

@@ -111,6 +111,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="GA random seed (default: 12345)"
     )
     parser.add_argument(
+        "--block-exec",
+        default=None,
+        choices=("auto", "loop", "batched", "compiled"),
+        help=(
+            "interpreter execution strategy for kernel launches "
+            "(default: REPRO_BLOCK_EXEC or 'auto'; 'compiled' lowers "
+            "kernels to cached numpy code with per-kernel fallback)"
+        ),
+    )
+    parser.add_argument(
         "--store",
         nargs="?",
         const=True,
@@ -195,6 +205,8 @@ def _build_config(args) -> TransformConfig:
         overrides["metrics_out"] = args.metrics_out
     if args.trace_out is not None:
         overrides["trace_out"] = args.trace_out
+    if args.block_exec is not None:
+        overrides["block_exec"] = args.block_exec
     if args.no_telemetry:
         overrides["telemetry"] = False
     if args.no_store:

@@ -13,7 +13,9 @@ function and point the parameter file at it" workflow.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Tuple
+import os
+from dataclasses import replace
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
 
 from ..analysis.volume import LaunchVolume
 from ..errors import SearchError
@@ -27,6 +29,15 @@ from .grouping import (
     evaluate_violations,
 )
 from .penalty import PenaltyParams, penalized_fitness
+
+#: opt-out switch for the compiled fitness evaluator (on by default)
+ENV_FITNESS_COMPILE = "REPRO_FITNESS_COMPILE"
+
+
+def fitness_compile_enabled() -> bool:
+    """Resolve the compiled-fitness switch from the environment."""
+    raw = os.environ.get(ENV_FITNESS_COMPILE, "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
 
 ObjectiveFn = Callable[[FusionProblem, Grouping, DeviceSpec], float]
 
@@ -172,6 +183,266 @@ def clear_projection_caches(problem: FusionProblem) -> None:
     problem.__dict__.pop("_group_time_cache", None)
 
 
+def _cyclic_components(n_groups: int, adj: Dict[int, List[int]]) -> Set[int]:
+    """Group indices inside a non-trivial SCC of the condensed OEG.
+
+    Iterative Tarjan over the (small) group-index graph — replaces the
+    per-evaluation ``networkx.DiGraph`` construction of
+    :func:`~repro.search.grouping.cyclic_group_indices`, with identical
+    results (the condensation has no self-loops, so only components of
+    size > 1 are cyclic).
+    """
+    counter = 0
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    cyclic: Set[int] = set()
+    for root in range(n_groups):
+        if root in index:
+            continue
+        work: List[List[int]] = [[root, 0]]
+        while work:
+            frame = work[-1]
+            node, pos = frame
+            if pos == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            descended = False
+            succs = adj.get(node, ())
+            while frame[1] < len(succs):
+                succ = succs[frame[1]]
+                frame[1] += 1
+                if succ not in index:
+                    work.append([succ, 0])
+                    descended = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cyclic.update(component)
+    return cyclic
+
+
+class CompiledFitness:
+    """Memoizing fitness evaluator, bit-identical to the reference path.
+
+    The GGA evaluates the same *parts* — splits, groups — in endless new
+    combinations; the reference path rebuilds per-part state (OEG edge
+    lists, networkx condensations, feasibility checks, projection sums)
+    for every individual.  This evaluator precomputes nothing but
+    memoizes everything at part granularity:
+
+    * per split: the active node list's OEG edges and reachability
+      (delegating to the problem's own ``node_oeg`` cache for the build);
+    * per group: fusability / realizability / smem pressure / lazy-fission
+      relaxability, and the (projection time, flops) pair of the default
+      objective;
+    * per (group, split): convexity under that split's reachability;
+    * the cycle check runs a direct Tarjan pass over group indices instead
+      of constructing a ``networkx`` digraph per evaluation;
+    * per individual value: the final (fitness, violations) pair, so an
+      exact re-evaluation (replays, restarts, converged populations) is a
+      single dict probe.  A fresh ``Violations`` record is returned per
+      call, matching the reference path's ownership semantics.
+
+    Results are bit-identical to ``evaluate_individual_reference`` for
+    any objective; the fast summation path engages only for the stock
+    ``projected_gflops`` (a custom objective is still called per
+    evaluation, with only the violation side memoized).  Like the fitness
+    cache, this treats fitness as a pure function of the individual's
+    *value*: numerically, float sums follow the group iteration order of
+    the first value-equal individual seen.
+
+    Thread-safety matches the reference path's caches: plain dict updates
+    are atomic under the GIL, and a lost race costs one recomputation.
+    """
+
+    def __init__(
+        self,
+        problem: FusionProblem,
+        device: DeviceSpec,
+        objective: ObjectiveFn,
+        penalties: PenaltyParams,
+    ) -> None:
+        self.problem = problem
+        self.device = device
+        self.objective = objective
+        self.penalties = penalties
+        self._whole = problem.whole_nodes()
+        self._fragments = problem.fragments_of
+        self._split_cache: Dict[FrozenSet[str], Tuple[Tuple, Mapping]] = {}
+        self._group_static: Dict[FrozenSet[str], Tuple[bool, bool, bool, bool]] = {}
+        self._group_convex: Dict[Tuple[FrozenSet[str], FrozenSet[str]], bool] = {}
+        self._group_obj: Dict[FrozenSet[str], Tuple[float, float]] = {}
+        self._eval_cache: Dict[Grouping, Tuple[float, Violations]] = {}
+
+    def _split_state(self, split: FrozenSet[str]) -> Tuple[Tuple, Mapping]:
+        state = self._split_cache.get(split)
+        if state is None:
+            active: List[str] = []
+            for node in self._whole:
+                if node in split:
+                    active.extend(self._fragments[node])
+                else:
+                    active.append(node)
+            oeg, reach = self.problem.node_oeg(active)
+            state = (tuple(oeg.edges), reach)
+            if len(self._split_cache) > 512:
+                self._split_cache.clear()
+            self._split_cache[split] = state
+        return state
+
+    def _group_flags(self, group: FrozenSet[str]) -> Tuple[bool, bool, bool, bool]:
+        flags = self._group_static.get(group)
+        if flags is None:
+            problem = self.problem
+            infos = problem.infos
+            flags = (
+                not problem.group_fusable(group),
+                not problem.group_realizable(group),
+                problem.group_smem_bytes(group) > problem.capacity,
+                any(
+                    infos[m].fissionable or infos[m].parent is not None
+                    for m in group
+                ),
+            )
+            self._group_static[group] = flags
+        return flags
+
+    def _violations(self, individual: Grouping) -> Violations:
+        edges, reach = self._split_state(individual.split)
+        groups = individual.groups
+        owner: Dict[str, int] = {}
+        for gid, group in enumerate(groups):
+            for node in group:
+                owner[node] = gid
+        adj: Dict[int, List[int]] = {}
+        for u, v in edges:
+            gu = owner.get(u)
+            gv = owner.get(v)
+            if gu is None or gv is None or gu == gv:
+                continue
+            adj.setdefault(gu, []).append(gv)
+        ordering_bad: Set[int] = (
+            _cyclic_components(len(groups), adj) if adj else set()
+        )
+        violations = Violations()
+        convex_cache = self._group_convex
+        for index, group in enumerate(groups):
+            if len(group) <= 1:
+                continue
+            unfusable, unrealizable, smem_over, relax_possible = self._group_flags(
+                group
+            )
+            if unfusable:
+                violations.unfusable += 1
+            key = (group, individual.split)
+            convex = convex_cache.get(key)
+            if convex is None:
+                convex = self.problem.group_convex(group, reach)
+                convex_cache[key] = convex
+            if not convex or index in ordering_bad:
+                violations.non_convex += 1
+            if unrealizable:
+                violations.unrealizable += 1
+            if smem_over:
+                violations.smem_over += 1
+                if relax_possible:
+                    violations.relaxable += 1
+        return violations
+
+    def _objective_value(self, individual: Grouping) -> float:
+        if self.objective is not projected_gflops:
+            return self.objective(self.problem, individual, self.device)
+        total_time = 0.0
+        total_flops = 0.0
+        memo = self._group_obj
+        for group in individual.groups:
+            pair = memo.get(group)
+            if pair is None:
+                pair = (
+                    group_projection_time(self.problem, group, self.device),
+                    sum(self.problem.info(m).flops for m in group),
+                )
+                memo[group] = pair
+            total_time += pair[0]
+            total_flops += pair[1]
+        if total_time <= 0:
+            return 0.0
+        return total_flops / total_time / 1e9
+
+    def evaluate(self, individual: Grouping) -> Tuple[float, Violations]:
+        hit = self._eval_cache.get(individual)
+        if hit is not None:
+            # fresh Violations per call, like the reference path (callers
+            # may hold on to / mutate the returned record)
+            return hit[0], replace(hit[1])
+        raw = self._objective_value(individual)
+        violations = self._violations(individual)
+        fitness = penalized_fitness(raw, violations, self.penalties)
+        if len(self._eval_cache) > 65536:
+            self._eval_cache.clear()
+        self._eval_cache[individual] = (fitness, replace(violations))
+        return fitness, violations
+
+
+def compiled_fitness(
+    problem: FusionProblem,
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> CompiledFitness:
+    """The per-problem :class:`CompiledFitness`, created on first use.
+
+    Cached on the problem instance (like the projection-time memo), keyed
+    by the remaining fitness inputs.  Keeping the objective referenced in
+    the value pins its ``id`` for the key's lifetime.
+    """
+    cache: Dict = problem.__dict__.setdefault("_compiled_fitness", {})
+    key = (id(objective), repr(device), repr(penalties))
+    evaluator = cache.get(key)
+    if evaluator is None:
+        evaluator = CompiledFitness(problem, device, objective, penalties)
+        cache[key] = evaluator
+    return evaluator
+
+
+def clear_compiled_fitness(problem: FusionProblem) -> None:
+    """Drop the per-problem compiled evaluators (tests / benchmarks)."""
+    problem.__dict__.pop("_compiled_fitness", None)
+
+
+def evaluate_individual_reference(
+    problem: FusionProblem,
+    individual: Grouping,
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> Tuple[float, Violations]:
+    """The direct (uncompiled) fitness evaluation, kept as the oracle the
+    compiled path is differential-tested and benchmarked against."""
+    raw = objective(problem, individual, device)
+    violations = evaluate_violations(problem, individual)
+    return penalized_fitness(raw, violations, penalties), violations
+
+
 def evaluate_individual(
     problem: FusionProblem,
     individual: Grouping,
@@ -184,10 +455,16 @@ def evaluate_individual(
     This is the unit of work the search-throughput layer memoizes and
     parallelizes — it is a pure function of its arguments, which is what
     makes content-addressed caching and out-of-order workers safe.
+    Routed through the memoizing :class:`CompiledFitness` evaluator
+    unless ``REPRO_FITNESS_COMPILE`` disables it.
     """
-    raw = objective(problem, individual, device)
-    violations = evaluate_violations(problem, individual)
-    return penalized_fitness(raw, violations, penalties), violations
+    if fitness_compile_enabled():
+        return compiled_fitness(problem, device, objective, penalties).evaluate(
+            individual
+        )
+    return evaluate_individual_reference(
+        problem, individual, device, objective, penalties
+    )
 
 
 register_objective("projected_gflops", projected_gflops)

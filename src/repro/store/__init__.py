@@ -24,8 +24,10 @@ from .artifact_store import (
     store_enabled_from_env,
 )
 from .keys import (
+    compiled_kernel_key,
     device_fingerprint,
     digest,
+    kernel_fingerprint,
     params_fingerprint,
     program_fingerprint,
 )
@@ -33,9 +35,11 @@ from .keys import (
 __all__ = [
     "ArtifactStore",
     "StoreStats",
+    "compiled_kernel_key",
     "default_store_root",
     "device_fingerprint",
     "digest",
+    "kernel_fingerprint",
     "open_store",
     "params_fingerprint",
     "program_fingerprint",
