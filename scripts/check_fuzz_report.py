@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate a fuzz-campaign report (``repro.fuzz/1``).
+
+Usage::
+
+    python scripts/check_fuzz_report.py REPORT [--require-clean] \
+        [--min-apps N]
+
+Checks, with plain asserts and no dependencies:
+
+* the schema tag and campaign/platform/summary structure;
+* summary counts are consistent with the failure/crash lists;
+* every crash record carries a well-formed three-part bucket key
+  (``stage|exc_type|frame``) — ``--require-clean`` additionally demands
+  zero failures and zero crashes (the PR-smoke gate), while the nightly
+  job only demands zero *unbucketed* crashes;
+* ``--min-apps`` guards against a silently truncated campaign.
+
+Exit code 0 when everything validates, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro.fuzz/1"
+
+CAMPAIGN_FIELDS = (
+    "seed_start", "seed_end", "seeds_run", "last_seed", "oracles",
+    "budget_seconds", "stopped_early", "duration_seconds", "reduce",
+)
+
+SUMMARY_FIELDS = ("apps", "failures", "crashes", "unbucketed", "buckets")
+
+FAILURE_FIELDS = ("seed", "app", "oracle", "kind", "detail")
+
+CRASH_FIELDS = ("seed", "where", "bucket", "stage", "exc_type", "frame",
+                "message")
+
+
+def fail(message: str) -> None:
+    print(f"check_fuzz_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def load_json(path: Path) -> object:
+    expect(path.is_file(), f"{path} does not exist")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+
+
+def check_campaign(report: dict) -> None:
+    campaign = report.get("campaign")
+    expect(isinstance(campaign, dict), "report.campaign must be an object")
+    missing = [f for f in CAMPAIGN_FIELDS if f not in campaign]
+    expect(not missing, f"campaign missing fields {missing}")
+    expect(campaign["seed_end"] >= campaign["seed_start"],
+           "campaign seed range is empty")
+    expect(isinstance(campaign["oracles"], list) and campaign["oracles"],
+           "campaign ran no oracles")
+    expect(campaign["seeds_run"] >= 0, "seeds_run must be non-negative")
+    if not campaign["stopped_early"]:
+        span = campaign["seed_end"] - campaign["seed_start"] + 1
+        expect(campaign["seeds_run"] == span,
+               f"campaign claims completion but ran {campaign['seeds_run']} "
+               f"of {span} seeds")
+    print(f"  campaign ok (seeds {campaign['seed_start']}.."
+          f"{campaign['seed_end']}, {campaign['seeds_run']} run, "
+          f"oracles {campaign['oracles']})")
+
+
+def check_summary(report: dict) -> dict:
+    summary = report.get("summary")
+    expect(isinstance(summary, dict), "report.summary must be an object")
+    missing = [f for f in SUMMARY_FIELDS if f not in summary]
+    expect(not missing, f"summary missing fields {missing}")
+    for key in ("apps", "failures", "crashes", "unbucketed"):
+        value = summary[key]
+        expect(isinstance(value, int) and value >= 0,
+               f"summary.{key} must be a non-negative integer")
+    expect(summary["failures"] == len(report.get("failures", [])),
+           "summary.failures disagrees with the failures list")
+    expect(summary["crashes"] == len(report.get("crashes", [])),
+           "summary.crashes disagrees with the crashes list")
+    buckets = summary["buckets"]
+    expect(isinstance(buckets, dict), "summary.buckets must be an object")
+    bucketed = sum(buckets.values())
+    expect(bucketed + summary["unbucketed"] == summary["crashes"],
+           "bucket counts + unbucketed must equal summary.crashes")
+    print(f"  summary ok ({summary['apps']} apps, "
+          f"{summary['failures']} failures, {summary['crashes']} crashes)")
+    return summary
+
+
+def check_records(report: dict) -> None:
+    for record in report.get("failures", []):
+        missing = [f for f in FAILURE_FIELDS if f not in record]
+        expect(not missing, f"failure record missing fields {missing}: {record}")
+    for record in report.get("crashes", []):
+        missing = [f for f in CRASH_FIELDS if f not in record]
+        expect(not missing, f"crash record missing fields {missing}: {record}")
+        bucket = record["bucket"]
+        expect(isinstance(bucket, str) and bucket.count("|") == 2,
+               f"malformed bucket key {bucket!r} (want stage|exc_type|frame)")
+        expect(bucket == f"{record['stage']}|{record['exc_type']}"
+               f"|{record['frame']}",
+               f"bucket key {bucket!r} disagrees with its fields")
+    print(f"  records ok ({len(report.get('failures', []))} failures, "
+          f"{len(report.get('crashes', []))} crashes)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="fuzz_report.json path")
+    parser.add_argument("--require-clean", action="store_true",
+                        help="additionally demand zero failures and crashes")
+    parser.add_argument("--min-apps", type=int, default=1, metavar="N",
+                        help="minimum generated apps (default 1)")
+    args = parser.parse_args(argv)
+
+    path = Path(args.report)
+    print(f"checking fuzz report {path}")
+    report = load_json(path)
+    expect(isinstance(report, dict), "report must be a JSON object")
+    expect(report.get("schema") == SCHEMA,
+           f"schema tag must be {SCHEMA!r}, got {report.get('schema')!r}")
+    expect(isinstance(report.get("platform"), dict)
+           and "python" in report["platform"],
+           "report.platform.python missing")
+    check_campaign(report)
+    summary = check_summary(report)
+    check_records(report)
+    expect(summary["apps"] >= args.min_apps,
+           f"campaign generated {summary['apps']} apps, "
+           f"expected at least {args.min_apps}")
+    expect(summary["unbucketed"] == 0,
+           f"{summary['unbucketed']} crash(es) escaped triage bucketing")
+    if args.require_clean:
+        expect(summary["failures"] == 0,
+               f"{summary['failures']} oracle failure(s) recorded")
+        expect(summary["crashes"] == 0,
+               f"{summary['crashes']} crash(es) recorded")
+    print("check_fuzz_report: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

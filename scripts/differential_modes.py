@@ -131,6 +131,9 @@ def main(argv=None) -> int:
                         help="generated application to run (default: Fluam)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="application scale factor (default: 1.0)")
+    parser.add_argument("--fuzz-seed", type=int, default=None, metavar="N",
+                        help="also differential-test fuzz app N "
+                             "(repro.fuzz.appgen.generate_app)")
     args = parser.parse_args(argv)
 
     from repro.apps import build_app
@@ -143,6 +146,11 @@ def main(argv=None) -> int:
         "stencil+fallback": parse_program(_STENCIL),
         args.app: build_app(args.app, scale=args.scale).program,
     }
+    if args.fuzz_seed is not None:
+        from repro.fuzz import generate_app
+
+        fuzz_app = generate_app(args.fuzz_seed)
+        programs[fuzz_app.name] = fuzz_app.program
     for label, program in programs.items():
         runs = run_modes(program)
         problems.extend(diff_runs(label, runs))

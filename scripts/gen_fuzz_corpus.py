@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""(Re)generate the committed fuzz regression corpus in ``tests/corpus/``.
+
+Each corpus entry freezes one generated application as *source text*
+(schema ``repro.fuzz.corpus/1``), so the regression suite replays the
+exact program even if the generator evolves.  The selection covers every
+archetype family, with dedicated shared-memory and forced-fallback
+(race / unlowerable) entries.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_fuzz_corpus.py [--out tests/corpus]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (slug, seed, spec overrides, note).  Weighted specs force the rare
+#: archetypes so the corpus stays diverse no matter what the default mix
+#: happens to draw at these seeds.
+ENTRIES = (
+    ("default-a", 3, {}, "default archetype mix"),
+    ("default-b", 11, {}, "default archetype mix"),
+    ("default-c", 29, {}, "default archetype mix"),
+    ("default-d", 41, {}, "default archetype mix"),
+    (
+        "shared-tiles",
+        101,
+        {"weights": (("shared", 3.0), ("stencil", 1.0))},
+        "shared-memory tiled kernels (batched lattice)",
+    ),
+    (
+        "shared-mixed",
+        102,
+        {"weights": (("shared", 2.0), ("pointwise", 1.0), ("fused", 1.0))},
+        "shared tiles mixed with fusable pointwise work",
+    ),
+    (
+        "race-inplace",
+        201,
+        {"weights": (("race", 3.0), ("stencil", 1.0))},
+        "forced fallback: in-place shared update (unbatchable_shared)",
+    ),
+    (
+        "race-heavy",
+        202,
+        {"weights": (("race", 1.0), ("shared", 1.0)), "min_kernels": 3},
+        "forced fallback: every kernel stages through shared memory",
+    ),
+    (
+        "unlowerable",
+        301,
+        {"weights": (("unlowerable", 3.0), ("pointwise", 1.0))},
+        "forced fallback: maybe-defined scalar read (lowering refusal)",
+    ),
+    (
+        "unlowerable-mixed",
+        302,
+        {
+            "weights": (("unlowerable", 1.0), ("shared", 1.0), ("race", 1.0)),
+            "min_kernels": 3,
+        },
+        "all three compiled-mode fallback archetypes in one app",
+    ),
+    (
+        "deep-loops",
+        401,
+        {"weights": (("deep_loop", 2.0), ("fused", 2.0)), "deep_loop_trips": 5},
+        "deep loop nests + almost-fused kernels (SCALE-LES shape)",
+    ),
+    (
+        "boundary-latency",
+        402,
+        {
+            "weights": (
+                ("boundary", 2.0),
+                ("latency", 2.0),
+                ("compute", 1.0),
+                ("stencil", 1.0),
+            ),
+            "min_kernels": 4,
+        },
+        "boundary faces, tiny-grid latency kernels and compute-bound work",
+    ),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="tests/corpus",
+                        help="corpus directory (default tests/corpus)")
+    args = parser.parse_args(argv)
+
+    from repro.cudalite import parse_program, unparse
+    from repro.fuzz import FuzzSpec, generate_app
+    from repro.fuzz.campaign import CORPUS_SCHEMA
+    from repro.fuzz.oracles import CHEAP_ORACLES
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for slug, seed, overrides, note in ENTRIES:
+        spec = FuzzSpec(**overrides) if overrides else None
+        app = generate_app(seed, spec)
+        source = unparse(app.program)
+        # the stored text must replay through the production front door
+        assert unparse(parse_program(source)) == source, slug
+        entry = {
+            "schema": CORPUS_SCHEMA,
+            "name": f"{slug}-{app.name}",
+            "seed": seed,
+            "spec": overrides,
+            "kernels": [k.name for k in app.program.kernels],
+            "shared_kernels": list(app.shared_kernels),
+            "fallback_kernels": list(app.fallback_kernels),
+            "oracles": list(CHEAP_ORACLES),
+            "note": note,
+            "source": source,
+        }
+        path = out / f"{slug}.json"
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(app.program.kernels)} kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ can run them small while the benchmarks run them at full structural size.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -66,6 +67,11 @@ class GeneratedApp:
     latency_kernels: Tuple[str, ...] = ()
     #: kernels with deep nested loops (the SCALE-LES codegen gap)
     deep_loop_kernels: Tuple[str, ...] = ()
+    #: kernels that stage a tile through __shared__ memory
+    shared_kernels: Tuple[str, ...] = ()
+    #: kernels the compiled execution mode must fall back on (race-prone
+    #: in-place updates, unlowerable constructs)
+    fallback_kernels: Tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -81,7 +87,10 @@ class AppBuilder:
         seed: int = 0,
     ) -> None:
         self.spec = spec
-        self.rng = random.Random(seed ^ hash(spec.name) & 0xFFFF)
+        # zlib.crc32, not hash(): string hashing is salted per process, and
+        # generated programs must be byte-identical across processes (store
+        # keys, corpus replay, CI cross-run comparisons all depend on it)
+        self.rng = random.Random(seed ^ zlib.crc32(spec.name.encode()) & 0xFFFF)
         self.nx, self.ny, self.nz = spec.domain
         self.kernels: List[ast.KernelDef] = []
         self.launch_args: List[Tuple[str, List[str], List[float]]] = []
@@ -89,6 +98,8 @@ class AppBuilder:
         self.array_dims: Dict[str, int] = {}
         self.latency_kernels: List[str] = []
         self.deep_loop_kernels: List[str] = []
+        self.shared_kernels: List[str] = []
+        self.fallback_kernels: List[str] = []
         #: separate small launches (kernel -> (grid, block)); default launch
         #: geometry is derived from the domain
         self.custom_launch: Dict[str, Tuple[Tuple[int, int, int], Tuple[int, int, int]]] = {}
@@ -346,6 +357,109 @@ class AppBuilder:
         self.custom_launch[name] = ((1, 1, 1), (16, 4, 1))
         return result
 
+    def _tile_prologue(self) -> List[ast.Stmt]:
+        """tx/ty/i/j index declarations for blockDim-tiled kernels."""
+        return [
+            b.decl("int", "tx", b.thread_idx("x")),
+            b.decl("int", "ty", b.thread_idx("y")),
+            b.decl("int", "i", b.add(b.mul(b.block_idx("x"), b.block_dim("x")), "tx")),
+            b.decl("int", "j", b.add(b.mul(b.block_idx("y"), b.block_dim("y")), "ty")),
+        ]
+
+    def shared_tile_kernel(
+        self, name: str, out: str, src: str, radius: int = 1
+    ) -> str:
+        """Stage a blockDim-sized tile through ``__shared__`` memory.
+
+        The global read is unguarded, so ``out``/``src`` must be 2D arrays
+        on an exact-fit domain (``nx`` and ``ny`` multiples of the block).
+        Batchable when ``out != src``, so the compiled mode runs it on the
+        batched lattice.
+        """
+        bx, by, _ = self.spec.block
+        r = max(1, min(radius, (min(bx, by) - 1) // 2))
+        center = b.idx("t", "tx", "ty")
+        value: ast.Expr = b.sub(
+            b.add(
+                b.add(b.idx("t", b.sub("tx", r), "ty"), b.idx("t", b.add("tx", r), "ty")),
+                b.add(b.idx("t", "tx", b.sub("ty", r)), b.idx("t", "tx", b.add("ty", r))),
+            ),
+            b.mul(4.0, center),
+        )
+        body: List[ast.Stmt] = self._tile_prologue() + [
+            b.decl("double", "t", shared=True, dims=(bx, by)),
+            b.assign(b.idx("t", "tx", "ty"), b.idx(src, "i", "j")),
+            b.sync(),
+            b.if_(
+                b.logical_and(
+                    b.ge("tx", r), b.lt("tx", bx - r),
+                    b.ge("ty", r), b.lt("ty", by - r),
+                ),
+                [b.assign(b.idx(out, "i", "j"), value)],
+            ),
+        ]
+        arrays = [out, src] if out != src else [out]
+        params, _ = self._params_for(arrays, {out})
+        kernel = b.kernel(name, params, body)
+        self.shared_kernels.append(name)
+        return self._register(kernel, arrays, [])
+
+    def inplace_shared_kernel(self, name: str, array: str) -> str:
+        """Race-prone archetype: in-place update through a shared tile.
+
+        The global read+write conflict on one array means the batched
+        lattice cannot reproduce the block loop's write visibility, so
+        ``auto``/``batched``/``compiled`` must all degrade this kernel to
+        the per-block loop — yet every thread touches only its own
+        element, so all modes still agree bitwise.  ``array`` must be 2D
+        on an exact-fit domain.
+        """
+        bx, by, _ = self.spec.block
+        body: List[ast.Stmt] = self._tile_prologue() + [
+            b.decl("double", "t", shared=True, dims=(bx, by)),
+            b.assign(b.idx("t", "tx", "ty"), b.idx(array, "i", "j")),
+            b.sync(),
+            b.assign(
+                b.idx(array, "i", "j"),
+                b.add(b.mul(b.idx("t", "tx", "ty"), 0.5), 1.0),
+            ),
+        ]
+        params, _ = self._params_for([array], {array})
+        kernel = b.kernel(name, params, body)
+        self.shared_kernels.append(name)
+        self.fallback_kernels.append(name)
+        return self._register(kernel, [array], [])
+
+    def maybe_defined_kernel(self, name: str, out: str, src: str) -> str:
+        """Unlowerable archetype: a conditionally-assigned scalar read.
+
+        ``w`` is written on only one branch path; the kernel lowerer
+        refuses maybe-defined reads (:class:`~repro.errors.LoweringError`)
+        so the compiled mode must negatively cache the kernel and fall
+        back to tree-walking interpretation.  The thread-(0,0) disjunct
+        guarantees every block has an assigning thread, keeping the read
+        defined in every execution mode.  2D arrays, exact-fit domain.
+        Note the undeclared ``w`` (like the compiler tests' MAYBE
+        exemplar) passes the parser and interpreter but not the stricter
+        :func:`~repro.cudalite.check_program`.
+        """
+        body: List[ast.Stmt] = self._tile_prologue() + [
+            b.if_(
+                ast.Binary(
+                    "||",
+                    ast.Binary(">", b.idx(src, "i", "j"), b.lit(0.5)),
+                    ast.Binary("==", b.add("tx", "ty"), b.lit(0)),
+                ),
+                [b.assign("w", b.mul(b.idx(src, "i", "j"), 2.0))],
+            ),
+            b.assign(b.idx(out, "i", "j"), b.add(b.ident("w"), 1.0)),
+        ]
+        arrays = [out, src] if out != src else [out]
+        params, _ = self._params_for(arrays, {out})
+        kernel = b.kernel(name, params, body)
+        self.fallback_kernels.append(name)
+        return self._register(kernel, arrays, [])
+
     # ------------------------------------------------------------------- host
 
     def build(self) -> GeneratedApp:
@@ -409,4 +523,6 @@ class AppBuilder:
             program=program,
             latency_kernels=tuple(self.latency_kernels),
             deep_loop_kernels=tuple(self.deep_loop_kernels),
+            shared_kernels=tuple(self.shared_kernels),
+            fallback_kernels=tuple(self.fallback_kernels),
         )

@@ -1,0 +1,310 @@
+"""The invariant battery run against every generated application.
+
+Each oracle checks one documented contract of the pipeline; a violation
+is an :class:`OracleFailure` with a *stable* ``kind`` signature so triage
+buckets deterministically and the reducer can check "still the same
+failure" cheaply.
+
+``transform``
+    Fail-soft contract: on a valid program, :func:`repro.api.transform`
+    with ``fail_hard=False`` completes without raising — degradations
+    must be absorbed, never escape.
+``differential``
+    The transformed program's whole-program output is bit-identical to
+    the original's (the per-group verification gate is bitwise by
+    default; fusion/fission/tuning must preserve every element).
+``modes``
+    The loop / batched / compiled / auto interpreter strategies agree
+    bitwise on arrays and on the mode-invariant counter signature.
+``warm_store``
+    Re-running the identical transform against a warm artifact store is
+    bit-identical to the cold run (caching must never change results).
+``fault_seams``
+    With each recoverable fault seam firing once, the transform still
+    completes (graceful degradation end-to-end).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import TransformConfig, TransformResult, transform
+from ..cudalite import ast_nodes as ast
+from ..gpu.interpreter import run_program
+from ..observability import counters_signature
+from ..reliability import faults
+from ..search.params import GAParams
+
+__all__ = [
+    "CHEAP_ORACLES",
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "OracleVerdict",
+    "fuzz_config",
+    "run_oracles",
+]
+
+#: every oracle, in execution order
+ORACLE_NAMES = ("transform", "differential", "modes", "warm_store", "fault_seams")
+
+#: the fast subset used by the PR-level smoke campaign
+CHEAP_ORACLES = ("transform", "differential", "modes")
+
+#: seams whose firing the pipeline must absorb in a fail-soft transform
+#: (worker_crash/worker_hang need the parallel evaluator and a timeout
+#: budget — the dedicated reliability tests cover those)
+_RECOVERABLE_SEAMS = ("parse", "analysis", "codegen", "interpreter", "store")
+
+_EXEC_MODES = ("loop", "batched", "compiled", "auto")
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One contract violation.
+
+    ``kind`` is the stable signature (identical re-runs produce an equal
+    ``kind``); ``detail`` is free-form diagnostics; ``exc`` carries the
+    original exception for triage when the violation was an escape.
+    """
+
+    oracle: str
+    kind: str
+    detail: str = ""
+    exc: Optional[BaseException] = field(default=None, compare=False)
+
+    def signature(self) -> str:
+        return f"{self.oracle}:{self.kind}"
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of one app's oracle battery."""
+
+    app: str
+    passed: Tuple[str, ...] = ()
+    failures: Tuple[OracleFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def signatures(self) -> Tuple[str, ...]:
+        return tuple(f.signature() for f in self.failures)
+
+
+def fuzz_config(seed: int = 0, **overrides) -> TransformConfig:
+    """A small, deterministic transform configuration for fuzzing.
+
+    The paper-scale GA budget (100x500) is three orders of magnitude too
+    slow for a seed campaign; a tiny sequential budget exercises the same
+    pipeline stages.  Telemetry and the store stay off unless an oracle
+    turns them on explicitly.
+    """
+    params = GAParams(
+        population=10,
+        generations=6,
+        stall_generations=3,
+        seed=seed,
+        workers=1,
+        executor="thread",
+    )
+    defaults = dict(
+        ga_params=params,
+        telemetry=False,
+        store=False,
+        verify_rtol=0.0,
+    )
+    defaults.update(overrides)
+    return TransformConfig(**defaults)
+
+
+def _program_of(app_or_program: object) -> ast.Program:
+    if isinstance(app_or_program, ast.Program):
+        return app_or_program
+    program = getattr(app_or_program, "program", None)
+    if isinstance(program, ast.Program):
+        return program
+    raise TypeError(
+        f"expected a Program or GeneratedApp, got {type(app_or_program).__name__}"
+    )
+
+
+def _escape(oracle: str, exc: BaseException) -> OracleFailure:
+    return OracleFailure(
+        oracle=oracle,
+        kind=f"uncaught:{type(exc).__name__}",
+        detail=str(exc),
+        exc=exc,
+    )
+
+
+def _array_diff(
+    left: Dict[str, np.ndarray], right: Dict[str, np.ndarray]
+) -> Optional[str]:
+    if sorted(left) != sorted(right):
+        return f"array sets differ: {sorted(left)} vs {sorted(right)}"
+    for name in sorted(left):
+        if not np.array_equal(left[name], right[name]):
+            delta = np.max(np.abs(left[name] - right[name]))
+            return f"array {name!r} differs (max abs delta {delta!r})"
+    return None
+
+
+# ------------------------------------------------------------------ oracles
+
+
+def _check_transform(
+    program: ast.Program, config: TransformConfig
+) -> Tuple[Optional[TransformResult], Optional[OracleFailure]]:
+    try:
+        return transform(program, config), None
+    except BaseException as exc:  # noqa: BLE001 - the contract under test
+        return None, _escape("transform", exc)
+
+
+def _check_differential(
+    program: ast.Program, result: TransformResult
+) -> Optional[OracleFailure]:
+    transformed = result.program
+    if transformed is None:
+        return OracleFailure(
+            "differential", "no-output-program", "transform produced no program"
+        )
+    try:
+        base = run_program(program, block_exec="loop")
+        out = run_program(transformed, block_exec="loop")
+    except BaseException as exc:  # noqa: BLE001
+        return _escape("differential", exc)
+    detail = _array_diff(base.arrays, out.arrays)
+    if detail is not None:
+        return OracleFailure("differential", "array-mismatch", detail)
+    return None
+
+
+def _check_modes(program: ast.Program) -> Optional[OracleFailure]:
+    try:
+        runs = {
+            mode: run_program(program, block_exec=mode, collect_counters=True)
+            for mode in _EXEC_MODES
+        }
+    except BaseException as exc:  # noqa: BLE001
+        return _escape("modes", exc)
+    for mode in _EXEC_MODES[1:]:
+        detail = _array_diff(runs["loop"].arrays, runs[mode].arrays)
+        if detail is not None:
+            return OracleFailure("modes", f"array-mismatch:{mode}", detail)
+    signatures = {
+        mode: counters_signature(rec.counters for rec in runs[mode].launches)
+        for mode in _EXEC_MODES
+    }
+    for mode in _EXEC_MODES[1:]:
+        if signatures[mode] != signatures["loop"]:
+            return OracleFailure(
+                "modes",
+                f"counter-mismatch:{mode}",
+                f"loop={signatures['loop']} {mode}={signatures[mode]}",
+            )
+    return None
+
+
+def _check_warm_store(
+    program: ast.Program, config: TransformConfig
+) -> Optional[OracleFailure]:
+    from dataclasses import replace
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-store-") as root:
+        stored = replace(config, store=True, store_root=root)
+        try:
+            cold = transform(program, stored)
+            warm = transform(program, stored)
+        except BaseException as exc:  # noqa: BLE001
+            return _escape("warm_store", exc)
+    if cold.source != warm.source:
+        return OracleFailure(
+            "warm_store",
+            "warm-divergence",
+            "warm re-run produced a different transformed program",
+        )
+    return None
+
+
+def _check_fault_seams(
+    program: ast.Program, config: TransformConfig
+) -> Optional[OracleFailure]:
+    for seam in _RECOVERABLE_SEAMS:
+        plan = faults.FaultPlan(seams=faults.parse_seam_specs(f"{seam}:x1"))
+        faults.install_plan(plan)
+        try:
+            transform(program, config)
+        except BaseException as exc:  # noqa: BLE001
+            return OracleFailure(
+                oracle="fault_seams",
+                kind=f"fault:{seam}:{type(exc).__name__}",
+                detail=str(exc),
+                exc=exc,
+            )
+        finally:
+            faults.clear_plan()
+    return None
+
+
+# ------------------------------------------------------------------- driver
+
+
+def run_oracles(
+    app_or_program: object,
+    oracles: Optional[Sequence[str]] = None,
+    config: Optional[TransformConfig] = None,
+) -> OracleVerdict:
+    """Run the selected oracles and collect every violation.
+
+    Oracles are independent: one failing does not stop the rest (except
+    ``differential``, which needs the transform's output and inherits a
+    ``transform`` failure as its own skip).
+    """
+    selected = tuple(oracles) if oracles is not None else CHEAP_ORACLES
+    unknown = set(selected) - set(ORACLE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown oracle(s): {sorted(unknown)}")
+    program = _program_of(app_or_program)
+    name = getattr(app_or_program, "name", "<program>")
+    config = config or fuzz_config()
+    passed: List[str] = []
+    failures: List[OracleFailure] = []
+    result: Optional[TransformResult] = None
+    transform_failed = False
+    if "transform" in selected or "differential" in selected:
+        result, failure = _check_transform(program, config)
+        transform_failed = failure is not None
+        if "transform" in selected:
+            if failure is None:
+                passed.append("transform")
+            else:
+                failures.append(failure)
+    checks: Dict[str, Callable[[], Optional[OracleFailure]]] = {
+        "differential": lambda: (
+            OracleFailure(
+                "differential", "transform-failed", "no result to compare"
+            )
+            if transform_failed
+            else _check_differential(program, result)
+        ),
+        "modes": lambda: _check_modes(program),
+        "warm_store": lambda: _check_warm_store(program, config),
+        "fault_seams": lambda: _check_fault_seams(program, config),
+    }
+    for oracle in selected:
+        if oracle == "transform":
+            continue
+        failure = checks[oracle]()
+        if failure is None:
+            passed.append(oracle)
+        else:
+            failures.append(failure)
+    return OracleVerdict(
+        app=name, passed=tuple(passed), failures=tuple(failures)
+    )

@@ -1,0 +1,266 @@
+"""Automatic delta-debugging reducer for failing fuzz programs.
+
+Given a program and a ``still_fails`` predicate, the reducer tries
+progressively finer-grained simplifications — each candidate is kept only
+if the predicate still holds — until a fixpoint (or the attempt budget)
+is reached:
+
+1. **Drop kernels** — remove one kernel definition plus its launches.
+2. **Shrink loops** — halve the ``nz`` extent and literal loop trip
+   counts (the cheapest way to shrink work without changing structure).
+3. **Drop statements** — delete one kernel-body statement at a time,
+   innermost blocks included.
+
+The AST is immutable, so every candidate is a fresh
+:class:`~repro.cudalite.ast_nodes.Program`; the original is never
+mutated.  The predicate is called on *candidates only* — callers should
+verify the initial program fails before invoking the reducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from ..cudalite import ast_nodes as ast
+
+__all__ = ["program_size", "reduce_program"]
+
+Predicate = Callable[[ast.Program], bool]
+
+#: a path into a kernel body: each step is (statement index, branch tag)
+#: where the tag selects the nested block ("then" / "els" / "body")
+_Path = Tuple[Tuple[int, str], ...]
+
+
+# -------------------------------------------------------------- kernel drop
+
+
+def _drop_kernel(program: ast.Program, name: str) -> Optional[ast.Program]:
+    kernels = tuple(k for k in program.kernels if k.name != name)
+    if not kernels:
+        return None
+    try:
+        main = program.main()
+    except KeyError:
+        return program.replace_kernels(kernels)
+    stmts = tuple(
+        s
+        for s in main.body.stmts
+        if not (isinstance(s, ast.Launch) and s.kernel == name)
+    )
+    new_main = replace(main, body=ast.Block(stmts))
+    return program.replace_kernels(kernels, new_main)
+
+
+# -------------------------------------------------------------- loop shrink
+
+
+def _halve_int(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+    if isinstance(expr, ast.IntLit) and expr.value > 1:
+        return ast.IntLit(expr.value // 2)
+    return None
+
+
+def _shrink_main_nz(program: ast.Program) -> Optional[ast.Program]:
+    try:
+        main = program.main()
+    except KeyError:
+        return None
+    stmts = list(main.body.stmts)
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.VarDecl) and stmt.name == "nz":
+            smaller = _halve_int(stmt.init)
+            if smaller is None:
+                return None
+            stmts[index] = replace(stmt, init=smaller)
+            new_main = replace(main, body=ast.Block(tuple(stmts)))
+            return program.replace_kernels(program.kernels, new_main)
+    return None
+
+
+def _shrink_literal_loops(stmt: ast.Stmt) -> Optional[ast.Stmt]:
+    """Halve the first halvable literal ``for`` bound under ``stmt``."""
+    if isinstance(stmt, ast.For):
+        smaller = _halve_int(stmt.bound)
+        if smaller is not None:
+            return replace(stmt, bound=smaller)
+        body = _shrink_block(stmt.body)
+        return None if body is None else replace(stmt, body=body)
+    if isinstance(stmt, ast.If):
+        then = _shrink_block(stmt.then)
+        if then is not None:
+            return replace(stmt, then=then)
+        if stmt.els is not None:
+            els = _shrink_block(stmt.els)
+            if els is not None:
+                return replace(stmt, els=els)
+    if isinstance(stmt, ast.While):
+        body = _shrink_block(stmt.body)
+        return None if body is None else replace(stmt, body=body)
+    return None
+
+
+def _shrink_block(block: ast.Block) -> Optional[ast.Block]:
+    for index, stmt in enumerate(block.stmts):
+        shrunk = _shrink_literal_loops(stmt)
+        if shrunk is not None:
+            stmts = list(block.stmts)
+            stmts[index] = shrunk
+            return ast.Block(tuple(stmts))
+    return None
+
+
+def _shrink_kernel_loops(program: ast.Program) -> List[ast.Program]:
+    candidates: List[ast.Program] = []
+    for kernel in program.kernels:
+        body = _shrink_block(kernel.body)
+        if body is None:
+            continue
+        kernels = tuple(
+            replace(k, body=body) if k.name == kernel.name else k
+            for k in program.kernels
+        )
+        candidates.append(program.replace_kernels(kernels))
+    return candidates
+
+
+# --------------------------------------------------------- statement delete
+
+
+def _enumerate_paths(block: ast.Block, prefix: _Path = ()) -> List[_Path]:
+    """Every deletable statement path in ``block``, deepest first."""
+    paths: List[_Path] = []
+    for index, stmt in enumerate(block.stmts):
+        here = prefix + ((index, ""),)
+        if isinstance(stmt, ast.If):
+            paths.extend(_enumerate_paths(stmt.then, prefix + ((index, "then"),)))
+            if stmt.els is not None:
+                paths.extend(_enumerate_paths(stmt.els, prefix + ((index, "els"),)))
+        elif isinstance(stmt, (ast.For, ast.While)):
+            paths.extend(_enumerate_paths(stmt.body, prefix + ((index, "body"),)))
+        paths.append(here)
+    return paths
+
+
+def _delete_at(block: ast.Block, path: _Path) -> Optional[ast.Block]:
+    (index, tag), rest = path[0], path[1:]
+    if index >= len(block.stmts):
+        return None
+    stmts = list(block.stmts)
+    if not rest:
+        del stmts[index]
+        return ast.Block(tuple(stmts))
+    stmt = stmts[index]
+    if tag == "then" and isinstance(stmt, ast.If):
+        inner = _delete_at(stmt.then, rest)
+        if inner is None:
+            return None
+        stmts[index] = replace(stmt, then=inner)
+    elif tag == "els" and isinstance(stmt, ast.If) and stmt.els is not None:
+        inner = _delete_at(stmt.els, rest)
+        if inner is None:
+            return None
+        stmts[index] = replace(stmt, els=inner)
+    elif tag == "body" and isinstance(stmt, (ast.For, ast.While)):
+        inner = _delete_at(stmt.body, rest)
+        if inner is None:
+            return None
+        stmts[index] = replace(stmt, body=inner)
+    else:
+        return None
+    return ast.Block(tuple(stmts))
+
+
+def _delete_statement_candidates(program: ast.Program) -> List[ast.Program]:
+    candidates: List[ast.Program] = []
+    for kernel in program.kernels:
+        for path in _enumerate_paths(kernel.body):
+            body = _delete_at(kernel.body, path)
+            if body is None or not body.stmts:
+                continue
+            kernels = tuple(
+                replace(k, body=body) if k.name == kernel.name else k
+                for k in program.kernels
+            )
+            candidates.append(program.replace_kernels(kernels))
+    return candidates
+
+
+# ------------------------------------------------------------------- driver
+
+
+def program_size(program: ast.Program) -> int:
+    """Cheap size metric for reduction reporting: total statement count."""
+
+    def stmts_in(block: ast.Block) -> int:
+        total = 0
+        for stmt in block.stmts:
+            total += 1
+            if isinstance(stmt, ast.If):
+                total += stmts_in(stmt.then)
+                if stmt.els is not None:
+                    total += stmts_in(stmt.els)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                total += stmts_in(stmt.body)
+        return total
+
+    total = 0
+    for kernel in program.kernels:
+        total += stmts_in(kernel.body)
+    for host in program.host_funcs:
+        total += stmts_in(host.body)
+    return total
+
+
+def reduce_program(
+    program: ast.Program,
+    still_fails: Predicate,
+    max_attempts: int = 400,
+) -> ast.Program:
+    """Shrink ``program`` while ``still_fails`` holds on every kept step.
+
+    ``max_attempts`` bounds the total number of predicate evaluations (a
+    failing transform can be slow; the budget keeps reduction bounded).
+    Returns the smallest failing program found — possibly the input
+    itself when nothing could be removed.
+    """
+    attempts = 0
+
+    def try_candidate(candidate: Optional[ast.Program]) -> bool:
+        # every operation strictly shrinks (fewer statements or smaller
+        # literals), so acceptance cannot cycle; no size check needed
+        nonlocal attempts
+        if candidate is None or attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:  # a reducer probe must never abort the campaign
+            return False
+
+    current = program
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for kernel in list(current.kernels):
+            candidate = _drop_kernel(current, kernel.name)
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+        candidate = _shrink_main_nz(current)
+        while try_candidate(candidate):
+            current = candidate
+            changed = True
+            candidate = _shrink_main_nz(current)
+        for candidate in _shrink_kernel_loops(current):
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+                break
+        for candidate in _delete_statement_candidates(current):
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import logging
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..cudalite import ast_nodes as ast
 from ..errors import LoweringError
+from ..observability.metrics import get_registry
 from ..store.keys import kernel_fingerprint
 from .lowering import LOWERING_VERSION, lower_kernel, runtime_namespace
 
@@ -38,6 +39,7 @@ __all__ = [
     "compile_kernel_source",
     "get_compiled_kernel",
     "kernel_fingerprint",
+    "note_fallback",
     "reset_code_cache",
     "stats",
 ]
@@ -67,14 +69,19 @@ class CompilerStats:
     store_hits: int = 0
     fallbacks: int = 0
     fallback_hits: int = 0
+    #: kernel name -> why it bypassed compiled execution (first reason
+    #: wins); surfaced in ``run.json`` under ``compiled_kernels`` so a
+    #: silent per-kernel fallback always leaves a trace
+    fallback_reasons: Dict[str, str] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "lowered": self.lowered,
             "memory_hits": self.memory_hits,
             "store_hits": self.store_hits,
             "fallbacks": self.fallbacks,
             "fallback_hits": self.fallback_hits,
+            "fallback_reasons": dict(sorted(self.fallback_reasons.items())),
         }
 
 
@@ -82,6 +89,23 @@ _LOCK = threading.Lock()
 #: fingerprint -> CompiledKernel, or None for negatively-cached fallbacks
 _CODE_CACHE: Dict[str, Optional[CompiledKernel]] = {}
 _STATS = CompilerStats()
+
+
+def note_fallback(kernel_name: str, reason: str, detail: str = "") -> None:
+    """Record why ``kernel_name`` bypassed compiled execution.
+
+    Deduplicated by kernel name (the first reason wins), so multi-launch
+    kernels record once.  ``reason`` is a low-cardinality label
+    (``lowering`` | ``unbatchable_shared`` | ``detect_races``) used for
+    the metrics counter; ``detail`` carries the specific diagnostic.
+    """
+    with _LOCK:
+        if kernel_name in _STATS.fallback_reasons:
+            return
+        _STATS.fallback_reasons[kernel_name] = (
+            f"{reason}: {detail}" if detail else reason
+        )
+    get_registry().inc("compiled_fallbacks_total", reason=reason)
 
 
 def compile_kernel_source(
@@ -163,6 +187,7 @@ def get_compiled_kernel(kernel: ast.KernelDef, shape: str = "") -> Optional[Comp
         with _LOCK:
             _STATS.fallbacks += 1
             _CODE_CACHE[fingerprint] = None
+        note_fallback(kernel.name, "lowering", str(exc))
         return None
     with _LOCK:
         _STATS.lowered += 1
@@ -194,3 +219,4 @@ def reset_code_cache() -> None:
         _STATS.store_hits = 0
         _STATS.fallbacks = 0
         _STATS.fallback_hits = 0
+        _STATS.fallback_reasons.clear()

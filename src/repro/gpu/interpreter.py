@@ -269,8 +269,13 @@ class _KernelExec:
         mode = self.block_exec
         if mode not in _BLOCK_EXEC_MODES:
             raise InterpreterError(f"unknown block_exec mode {mode!r}")
-        if mode == "compiled" and not self.detect_races and self._run_compiled():
-            return
+        if mode == "compiled":
+            if self.detect_races:
+                from . import compiler
+
+                compiler.note_fallback(self.kernel.name, "detect_races")
+            elif self._run_compiled():
+                return
         if not self.uses_shared():
             self._run_vectorized()
             return
@@ -302,6 +307,7 @@ class _KernelExec:
         elif self._batchable():
             shape = "batched"
         else:
+            compiler.note_fallback(self.kernel.name, "unbatchable_shared")
             return False
         fn = compiler.get_compiled_kernel(self.kernel, shape)
         if fn is None:

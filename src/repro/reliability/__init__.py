@@ -23,6 +23,7 @@ from .faults import (
     ENV_FAULT_HANG,
     ENV_FAULT_SEAMS,
     ENV_FAULT_SEED,
+    KNOWN_SEAMS,
     SEAMS,
     FaultPlan,
     active_plan,
@@ -40,6 +41,7 @@ __all__ = [
     "ENV_FAULT_HANG",
     "ENV_FAULT_SEAMS",
     "ENV_FAULT_SEED",
+    "KNOWN_SEAMS",
     "SEAMS",
     "FaultPlan",
     "active_plan",

@@ -65,7 +65,12 @@ ENV_FAULT_SEAMS = "REPRO_FAULT_SEAMS"
 ENV_FAULT_SEED = "REPRO_FAULT_SEED"
 ENV_FAULT_HANG = "REPRO_FAULT_HANG_S"
 
-SEAMS = (
+#: the canonical registry of every seam the production code paths visit.
+#: All entry points — the ``REPRO_FAULT_SEAMS`` parser, programmatic
+#: :class:`FaultPlan` construction and the :func:`check` /
+#: :func:`poison_cache_value` call sites — validate against it, so a
+#: typo'd seam name fails loudly instead of silently never firing.
+KNOWN_SEAMS = (
     "parse",
     "analysis",
     "codegen",
@@ -75,6 +80,19 @@ SEAMS = (
     "worker_crash",
     "worker_hang",
 )
+
+#: backwards-compatible alias for :data:`KNOWN_SEAMS`
+SEAMS = KNOWN_SEAMS
+
+_KNOWN_SEAM_SET = frozenset(KNOWN_SEAMS)
+
+
+def _require_known(seam: str, what: str) -> None:
+    if seam not in _KNOWN_SEAM_SET:
+        raise FaultInjectionError(
+            f"unknown fault seam {seam!r} ({what}); "
+            f"known seams: {', '.join(KNOWN_SEAMS)}"
+        )
 
 
 @dataclass
@@ -99,6 +117,12 @@ class FaultPlan:
     _visits: Dict[str, int] = field(default_factory=dict)
     _fires: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        # programmatic plans bypass parse_seam_specs; validate here so a
+        # typo'd seam cannot be installed and silently never fire
+        for seam in self.seams:
+            _require_known(seam, "in FaultPlan.seams")
 
     def should_fire(self, seam: str) -> bool:
         spec = self.seams.get(seam)
@@ -139,10 +163,7 @@ def parse_seam_specs(raw: str) -> Dict[str, _SeamSpec]:
             continue
         parts = token.split(":")
         name = parts[0].strip()
-        if name not in SEAMS:
-            raise FaultInjectionError(
-                f"unknown fault seam {name!r}; valid seams: {', '.join(SEAMS)}"
-            )
+        _require_known(name, f"in {ENV_FAULT_SEAMS} spec {token!r}")
         spec = _SeamSpec()
         for mod in parts[1:]:
             mod = mod.strip()
@@ -226,6 +247,7 @@ def check(seam: str, describe: str = "") -> None:
     Call sites sit *inside* production code paths; with no plan active
     this is a dictionary miss and costs nothing.
     """
+    _require_known(seam, "at a check() call site")
     plan = active_plan()
     if plan is None or not plan.should_fire(seam):
         return
@@ -255,6 +277,7 @@ def check(seam: str, describe: str = "") -> None:
 
 def poison_cache_value(seam: str = "fitness_cache") -> bool:
     """Should the current cache read be poisoned?  (read-side hook)"""
+    _require_known(seam, "at a poison_cache_value() call site")
     plan = active_plan()
     return plan is not None and plan.should_fire(seam)
 

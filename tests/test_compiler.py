@@ -240,6 +240,60 @@ def test_detect_races_bypasses_compilation():
     assert stats.fallbacks == 0
 
 
+# --------------------------------------------------------- fallback reasons
+
+
+def test_lowering_fallback_records_reason():
+    run_program(parse_program(MAYBE), block_exec="compiled")
+    reasons = compiler.stats().fallback_reasons
+    assert set(reasons) == {"gate"}
+    assert reasons["gate"].startswith("lowering")
+    assert "w" in reasons["gate"]  # the offending name is in the detail
+
+
+def test_unbatchable_shared_fallback_records_reason():
+    run_program(parse_program(INPLACE), block_exec="compiled")
+    assert compiler.stats().fallback_reasons == {
+        "relax": "unbatchable_shared"
+    }
+
+
+def test_detect_races_fallback_records_reason():
+    run_program(parse_program(TILED), block_exec="compiled", detect_races=True)
+    reasons = compiler.stats().fallback_reasons
+    assert set(reasons.values()) == {"detect_races"}
+
+
+def test_fallback_reasons_in_stats_dict_and_metrics():
+    from repro.observability.metrics import get_registry
+
+    def fallback_count(reason):
+        counters = get_registry().snapshot().counters
+        return counters.get(
+            ("compiled_fallbacks_total", (("reason", reason),)), 0
+        )
+
+    before = fallback_count("lowering")
+    run_program(parse_program(MAYBE), block_exec="compiled")
+    as_dict = compiler.stats().as_dict()
+    assert "fallback_reasons" in as_dict
+    assert set(as_dict["fallback_reasons"]) == {"gate"}
+    assert fallback_count("lowering") == before + 1
+
+
+def test_fallback_reason_first_wins_and_reset_clears():
+    compiler.note_fallback("k", "lowering", "first detail")
+    compiler.note_fallback("k", "detect_races")  # later reason is ignored
+    assert compiler.stats().fallback_reasons["k"] == "lowering: first detail"
+    compiler.reset_code_cache()
+    assert compiler.stats().fallback_reasons == {}
+
+
+def test_vectorized_kernels_record_no_fallback_reason():
+    run_program(parse_program(VECTOR), block_exec="compiled")
+    assert compiler.stats().fallback_reasons == {}
+
+
 # -------------------------------------------------------------- persistence
 
 

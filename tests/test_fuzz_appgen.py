@@ -1,0 +1,187 @@
+"""The fuzz application generator: determinism, validity, coverage.
+
+The contracts under test (see ``repro.fuzz.appgen``):
+
+* ``generate_app(seed, spec)`` is a pure function of its inputs — the
+  same pair yields a byte-identical program in-process *and* across
+  Python processes (string-hash salting must not leak in);
+* every generated program goes through the production front door: it
+  unparsses to source that re-parses to the identical program;
+* every archetype the spec weights can actually be drawn, and forced
+  weights force it;
+* the compiled-mode edge archetypes are labelled on the
+  :class:`~repro.apps.base.GeneratedApp` metadata so oracles and tests
+  can target them.
+"""
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cudalite import parse_program, unparse
+from repro.fuzz import ARCHETYPES, FuzzSpec, generate_app
+from repro.gpu import compiler
+from repro.gpu.interpreter import run_program
+
+SEED_WINDOW = range(0, 24)
+
+
+def _source(seed, spec=None):
+    return unparse(generate_app(seed, spec).program)
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_same_seed_same_program():
+    for seed in SEED_WINDOW:
+        assert _source(seed) == _source(seed)
+
+
+def test_different_seeds_differ():
+    sources = {_source(seed) for seed in SEED_WINDOW}
+    assert len(sources) == len(SEED_WINDOW)
+
+
+def test_spec_changes_program():
+    spec = FuzzSpec(weights=(("pointwise", 1.0),))
+    assert _source(5) != _source(5, spec)
+
+
+def test_deterministic_across_processes():
+    """Generation must not depend on per-process string-hash salting."""
+    script = (
+        "from repro.fuzz import generate_app\n"
+        "from repro.cudalite import unparse\n"
+        "import hashlib\n"
+        "digest = hashlib.sha256()\n"
+        "for seed in range(8):\n"
+        "    digest.update(unparse(generate_app(seed).program).encode())\n"
+        "print(digest.hexdigest())\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    runs = {
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        for _ in range(2)
+    }
+    assert len(runs) == 1
+
+
+# ----------------------------------------------------------------- validity
+
+
+def test_unparse_parse_round_trip():
+    for seed in SEED_WINDOW:
+        source = _source(seed)
+        assert unparse(parse_program(source)) == source
+
+
+def test_generated_apps_execute_mode_agnostically():
+    for seed in (0, 7, 13):
+        program = generate_app(seed).program
+        compiler.reset_code_cache()
+        loop = run_program(program, block_exec="loop")
+        for mode in ("batched", "compiled", "auto"):
+            other = run_program(program, block_exec=mode)
+            for name, arr in loop.arrays.items():
+                assert np.array_equal(arr, other.arrays[name]), (seed, mode, name)
+
+
+def test_kernel_count_respects_bounds():
+    spec = FuzzSpec(min_kernels=3, max_kernels=4)
+    for seed in SEED_WINDOW:
+        count = len(generate_app(seed, spec).program.kernels)
+        assert 3 <= count <= 4
+
+
+def test_geometries_are_exact_fit():
+    for seed in SEED_WINDOW:
+        app = generate_app(seed)
+        (nx, ny, _), (bx, by, _) = app.spec.domain, app.spec.block
+        assert nx % bx == 0 and ny % by == 0
+
+
+# ----------------------------------------------------------------- coverage
+
+
+def test_default_mix_covers_every_archetype():
+    seen = set()
+    for seed in range(60):
+        for kernel in generate_app(seed).program.kernels:
+            seen.add(kernel.name.rsplit("_", 1)[0])
+    assert seen == set(ARCHETYPES)
+
+
+@pytest.mark.parametrize("archetype", ARCHETYPES)
+def test_forced_weight_forces_archetype(archetype):
+    spec = FuzzSpec(weights=((archetype, 1.0),))
+    app = generate_app(2, spec)
+    assert all(
+        k.name.rsplit("_", 1)[0] == archetype for k in app.program.kernels
+    )
+
+
+def test_shared_and_fallback_metadata_recorded():
+    spec = FuzzSpec(
+        weights=(("shared", 1.0), ("race", 1.0), ("unlowerable", 1.0)),
+        min_kernels=6,
+        max_kernels=6,
+    )
+    app = generate_app(9, spec)
+    assert app.shared_kernels
+    assert app.fallback_kernels
+    # race kernels are both shared and fallback; unlowerable only fallback
+    assert set(app.fallback_kernels) <= {k.name for k in app.program.kernels}
+
+
+def test_fallback_kernels_actually_fall_back():
+    spec = FuzzSpec(
+        weights=(("race", 1.0), ("unlowerable", 1.0)),
+        min_kernels=4,
+        max_kernels=4,
+    )
+    app = generate_app(4, spec)
+    compiler.reset_code_cache()
+    run_program(app.program, block_exec="compiled")
+    reasons = compiler.stats().fallback_reasons
+    assert set(app.fallback_kernels) <= set(reasons)
+    compiler.reset_code_cache()
+
+
+# --------------------------------------------------------------- validation
+
+
+def test_spec_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        FuzzSpec(min_kernels=5, max_kernels=2)
+
+
+def test_spec_rejects_unknown_archetype():
+    with pytest.raises(ValueError, match="unknown archetype"):
+        FuzzSpec(weights=(("warp_shuffle", 1.0),))
+
+
+def test_spec_rejects_all_zero_weights():
+    with pytest.raises(ValueError, match="positive"):
+        FuzzSpec(weights=(("stencil", 0.0),))
+
+
+def test_spec_rejects_non_exact_fit_geometry():
+    with pytest.raises(ValueError, match="exact-fit"):
+        FuzzSpec(geometries=(((17, 16, 2), (8, 8, 1)),))
+
+
+def test_app_names_embed_seed():
+    assert generate_app(42).name == "fuzz000042"
+    digest = hashlib.sha256(_source(42).encode()).hexdigest()
+    assert digest == hashlib.sha256(_source(42).encode()).hexdigest()

@@ -1,0 +1,93 @@
+"""Replay the committed fuzz regression corpus (``tests/corpus/``).
+
+Each corpus entry freezes one generated application as source text
+(schema ``repro.fuzz.corpus/1``); replaying it runs the entry's oracle
+battery on the parsed program.  The corpus is the fuzzing campaign's
+long-term memory: a program that once exposed a defect (or exercises a
+rare archetype) keeps being checked on every PR, independent of how the
+generator evolves.  Regenerate with ``scripts/gen_fuzz_corpus.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cudalite import parse_program, unparse
+from repro.fuzz import run_oracles
+from repro.fuzz.campaign import CORPUS_SCHEMA
+from repro.fuzz.oracles import ORACLE_NAMES, fuzz_config
+from repro.gpu import compiler
+from repro.gpu.interpreter import run_program
+from repro.reliability import faults
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+ENTRY_PATHS = sorted(CORPUS_DIR.glob("*.json"))
+
+REQUIRED_FIELDS = (
+    "schema", "name", "seed", "kernels", "shared_kernels",
+    "fallback_kernels", "oracles", "note", "source",
+)
+
+
+def _load(path):
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def test_corpus_is_populated_and_diverse():
+    assert len(ENTRY_PATHS) >= 10
+    entries = [_load(p) for p in ENTRY_PATHS]
+    assert any(e["shared_kernels"] for e in entries), (
+        "corpus needs at least one shared-memory app"
+    )
+    assert any(e["fallback_kernels"] for e in entries), (
+        "corpus needs at least one forced-fallback app"
+    )
+    names = [e["name"] for e in entries]
+    assert len(set(names)) == len(names)
+
+
+@pytest.mark.parametrize(
+    "path", ENTRY_PATHS, ids=[p.stem for p in ENTRY_PATHS]
+)
+def test_corpus_entry_replays_green(path):
+    entry = _load(path)
+    missing = [f for f in REQUIRED_FIELDS if f not in entry]
+    assert not missing, f"{path.name} missing fields {missing}"
+    assert entry["schema"] == CORPUS_SCHEMA
+    assert set(entry["oracles"]) <= set(ORACLE_NAMES)
+
+    program = parse_program(entry["source"])
+    assert unparse(program) == entry["source"]
+    assert [k.name for k in program.kernels] == entry["kernels"]
+
+    verdict = run_oracles(
+        program, tuple(entry["oracles"]), fuzz_config(seed=entry["seed"])
+    )
+    assert verdict.ok, (path.name, verdict.signatures())
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in ENTRY_PATHS if _load(p)["fallback_kernels"]],
+    ids=[p.stem for p in ENTRY_PATHS if _load(p)["fallback_kernels"]],
+)
+def test_fallback_entries_record_fallback_reasons(path):
+    entry = _load(path)
+    program = parse_program(entry["source"])
+    compiler.reset_code_cache()
+    try:
+        run_program(program, block_exec="compiled")
+        reasons = compiler.stats().fallback_reasons
+        assert set(entry["fallback_kernels"]) <= set(reasons), (
+            path.name, entry["fallback_kernels"], reasons
+        )
+    finally:
+        compiler.reset_code_cache()

@@ -1,0 +1,116 @@
+"""The fuzz oracle battery and its failure signatures.
+
+Contracts under test (see ``repro.fuzz.oracles``):
+
+* the full battery passes on generated apps (the pipeline keeps its
+  promises on arbitrary valid inputs);
+* a violated contract surfaces as an :class:`OracleFailure` with a
+  stable ``kind`` signature instead of an exception;
+* the ``transform`` oracle catches escapes and ``differential``
+  inherits the failure as a skip rather than crashing on a missing
+  result;
+* oracle selection is validated loudly.
+"""
+
+import pytest
+
+from repro.fuzz import generate_app
+from repro.fuzz.oracles import (
+    CHEAP_ORACLES,
+    ORACLE_NAMES,
+    OracleFailure,
+    OracleVerdict,
+    fuzz_config,
+    run_oracles,
+)
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def test_cheap_battery_passes_on_generated_apps():
+    for seed in (0, 5):
+        app = generate_app(seed)
+        verdict = run_oracles(app, CHEAP_ORACLES, fuzz_config(seed=seed))
+        assert verdict.ok, verdict.signatures()
+        assert set(verdict.passed) == set(CHEAP_ORACLES)
+        assert verdict.app == app.name
+
+
+def test_full_battery_passes_on_one_app():
+    app = generate_app(3)
+    verdict = run_oracles(app, ORACLE_NAMES, fuzz_config(seed=3))
+    assert verdict.ok, [
+        (f.signature(), f.detail) for f in verdict.failures
+    ]
+    assert set(verdict.passed) == set(ORACLE_NAMES)
+
+
+def test_accepts_plain_programs():
+    program = generate_app(1).program
+    verdict = run_oracles(program, ("modes",))
+    assert verdict.ok
+    assert verdict.app == "<program>"
+
+
+def test_unknown_oracle_rejected():
+    with pytest.raises(ValueError, match="unknown oracle"):
+        run_oracles(generate_app(0), ("transform", "bogus"))
+
+
+def test_transform_escape_is_a_stable_failure(monkeypatch):
+    import repro.fuzz.oracles as oracles_mod
+
+    def boom(*_args, **_kwargs):
+        raise RuntimeError("synthetic pipeline escape")
+
+    monkeypatch.setattr(oracles_mod, "transform", boom)
+    verdict = run_oracles(
+        generate_app(0), ("transform", "differential"), fuzz_config()
+    )
+    assert not verdict.ok
+    kinds = {f.oracle: f.kind for f in verdict.failures}
+    assert kinds["transform"] == "uncaught:RuntimeError"
+    # differential cannot compare without a transform result, and says so
+    assert kinds["differential"] == "transform-failed"
+    escape = next(f for f in verdict.failures if f.oracle == "transform")
+    assert isinstance(escape.exc, RuntimeError)
+    assert escape.signature() == "transform:uncaught:RuntimeError"
+
+
+def test_verdict_signatures_are_ordered_and_stable():
+    failures = (
+        OracleFailure("modes", "array-mismatch:batched", "x"),
+        OracleFailure("transform", "uncaught:KeyError", "y"),
+    )
+    verdict = OracleVerdict(app="a", failures=failures)
+    assert verdict.signatures() == (
+        "modes:array-mismatch:batched",
+        "transform:uncaught:KeyError",
+    )
+    assert not verdict.ok
+
+
+def test_fuzz_config_is_small_and_quiet():
+    config = fuzz_config(seed=7)
+    params = config.ga_params
+    assert params.population <= 16 and params.generations <= 10
+    assert params.workers == 1 and params.executor == "thread"
+    assert config.telemetry is False
+    assert config.store is False
+    # bitwise verification stays the default for differential soundness
+    assert config.verify_rtol == 0.0
+    override = fuzz_config(seed=7, telemetry=True)
+    assert override.telemetry is True
+
+
+def test_fault_seam_oracle_restores_plan_state():
+    app = generate_app(2)
+    verdict = run_oracles(app, ("fault_seams",), fuzz_config(seed=2))
+    assert verdict.ok, verdict.signatures()
+    assert faults.active_plan() is None

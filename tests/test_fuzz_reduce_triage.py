@@ -1,0 +1,275 @@
+"""The delta-debugging reducer, crash triage and the campaign driver.
+
+Contracts under test:
+
+* :func:`repro.fuzz.reduce.reduce_program` shrinks a failing program
+  while the predicate holds, never returns a non-failing program, and
+  respects its attempt budget;
+* :func:`repro.fuzz.triage.bucket_exception` is deterministic and built
+  only from stable exception features (stage, type, innermost repro
+  frame) — messages and line numbers don't split buckets;
+* :func:`repro.fuzz.campaign.run_campaign` survives injected failures,
+  records them bucketed, writes reproducers, and its report passes the
+  structural consistency rules ``scripts/check_fuzz_report.py`` encodes.
+"""
+
+import json
+
+import pytest
+
+from repro.cudalite import parse_program, unparse
+from repro.errors import ParseError, TransformError
+from repro.fuzz import generate_app
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.reduce import program_size, reduce_program
+from repro.fuzz.triage import (
+    REPORT_SCHEMA,
+    bucket_exception,
+    build_report,
+    crash_record,
+    load_report,
+    write_report,
+)
+
+# ------------------------------------------------------------------ reduce
+
+
+def _has_kernel(program, prefix):
+    return any(k.name.startswith(prefix) for k in program.kernels)
+
+
+def test_reduce_drops_unrelated_kernels():
+    app = generate_app(0)
+    target = app.program.kernels[0].name
+    reduced = reduce_program(
+        app.program, lambda p: _has_kernel(p, target)
+    )
+    names = [k.name for k in reduced.kernels]
+    assert names == [target]
+    # the dropped kernels' launches are gone from main too
+    source = unparse(reduced)
+    for kernel in app.program.kernels[1:]:
+        assert f"{kernel.name}<<<" not in source
+
+
+def test_reduce_keeps_program_parseable_and_failing():
+    app = generate_app(7)
+    target = app.program.kernels[-1].name
+    reduced = reduce_program(app.program, lambda p: _has_kernel(p, target))
+    assert _has_kernel(reduced, target)
+    source = unparse(reduced)
+    assert unparse(parse_program(source)) == source
+
+
+def test_reduce_shrinks_nz_and_loop_bounds():
+    app = generate_app(0)
+    reduced = reduce_program(app.program, lambda p: True)
+    main_source = unparse(reduced)
+    assert "int nz = 1;" in main_source
+
+
+def test_reduce_deletes_statements():
+    app = generate_app(0)
+    reduced = reduce_program(app.program, lambda p: len(p.kernels) >= 1)
+    assert program_size(reduced) < program_size(app.program)
+
+
+def test_reduce_respects_attempt_budget():
+    app = generate_app(0)
+    calls = []
+
+    def probe(_program):
+        calls.append(1)
+        return True
+
+    reduce_program(app.program, probe, max_attempts=5)
+    assert len(calls) <= 5
+
+
+def test_reduce_predicate_exception_is_a_rejection():
+    app = generate_app(0)
+
+    def flaky(_program):
+        raise RuntimeError("probe blew up")
+
+    reduced = reduce_program(app.program, flaky, max_attempts=10)
+    # nothing was accepted, so the input comes back unchanged
+    assert unparse(reduced) == unparse(app.program)
+
+
+# ------------------------------------------------------------------ triage
+
+
+def _raise_and_bucket(exc_factory):
+    try:
+        exc_factory()
+    except BaseException as exc:  # noqa: BLE001
+        return bucket_exception(exc)
+    raise AssertionError("factory did not raise")
+
+
+def test_bucket_is_deterministic():
+    first = _raise_and_bucket(lambda: parse_program("int main( {"))
+    second = _raise_and_bucket(lambda: parse_program("int main( {"))
+    assert first == second
+    assert first.key == second.key
+
+
+def test_bucket_ignores_message_text():
+    one = _raise_and_bucket(lambda: parse_program("int main( {"))
+    two = _raise_and_bucket(lambda: parse_program("int other( {"))
+    assert one.key == two.key  # same defect class, different message
+
+
+def test_bucket_uses_innermost_repro_frame():
+    bucket = _raise_and_bucket(lambda: parse_program("int main( {"))
+    assert bucket.exc_type == "ParseError"
+    assert bucket.frame.startswith("repro.cudalite.")
+    assert bucket.key.count("|") == 2
+
+
+def test_bucket_records_pipeline_stage():
+    error = TransformError("boom")
+    error.stage = "codegen"  # the framework sets this when a stage raises
+    bucket = bucket_exception(error)
+    assert bucket.stage == "codegen"
+    # raised without a traceback: no repro frame to point at
+    assert bucket.frame == "-"
+
+
+def test_bucket_without_repro_frames_degrades():
+    bucket = _raise_and_bucket(lambda: json.loads("nope"))
+    assert bucket.stage == "-"
+    assert bucket.frame == "-"
+    assert bucket.exc_type == "JSONDecodeError"
+
+
+def test_crash_record_shape():
+    try:
+        parse_program("int main( {")
+    except ParseError as exc:
+        record = crash_record(3, "oracles", exc)
+    assert record["seed"] == 3
+    assert record["where"] == "oracles"
+    assert record["bucket"] == (
+        f"{record['stage']}|{record['exc_type']}|{record['frame']}"
+    )
+
+
+def test_report_counts_buckets_and_unbucketed(tmp_path):
+    crashes = [
+        {"seed": 0, "bucket": "a|X|m:f"},
+        {"seed": 1, "bucket": "a|X|m:f"},
+        {"seed": 2, "bucket": ""},
+    ]
+    report = build_report({"seed_start": 0}, [], crashes, apps=3)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["summary"]["crashes"] == 3
+    assert report["summary"]["unbucketed"] == 1
+    assert report["summary"]["buckets"] == {"a|X|m:f": 2}
+    path = tmp_path / "nested" / "fuzz_report.json"
+    write_report(report, path)
+    assert load_report(path)["summary"] == report["summary"]
+
+
+# ---------------------------------------------------------------- campaign
+
+
+def test_clean_campaign_report(tmp_path):
+    report = run_campaign(
+        CampaignConfig(seed_start=0, seed_end=2, out_dir=str(tmp_path))
+    )
+    summary = report["summary"]
+    assert summary["apps"] == 3
+    assert summary["failures"] == 0
+    assert summary["crashes"] == 0
+    assert summary["unbucketed"] == 0
+    on_disk = load_report(tmp_path / "fuzz_report.json")
+    assert on_disk["summary"] == summary
+    assert on_disk["campaign"]["stopped_early"] is False
+
+
+def test_campaign_buckets_generator_crashes(monkeypatch, tmp_path):
+    import repro.fuzz.campaign as campaign_mod
+
+    def broken_generate(seed, _spec=None):
+        if seed == 1:
+            raise ValueError(f"generator defect on seed {seed}")
+        return generate_app(seed)
+
+    monkeypatch.setattr(campaign_mod, "generate_app", broken_generate)
+    report = run_campaign(
+        CampaignConfig(seed_start=0, seed_end=2, out_dir=str(tmp_path))
+    )
+    summary = report["summary"]
+    assert summary["apps"] == 3  # the campaign kept going
+    assert summary["crashes"] == 1
+    assert summary["unbucketed"] == 0
+    crash = report["crashes"][0]
+    assert crash["seed"] == 1 and crash["where"] == "generate"
+    assert crash["bucket"] in summary["buckets"]
+
+
+def test_campaign_records_and_reduces_oracle_failures(monkeypatch, tmp_path):
+    import repro.fuzz.campaign as campaign_mod
+    from repro.fuzz.oracles import OracleFailure, OracleVerdict
+
+    def failing_oracles(app_or_program, _oracles, _config):
+        name = getattr(app_or_program, "name", "<program>")
+        # "fails" whenever the program still has at least one kernel, so
+        # the reducer can shrink all the way down to a single kernel
+        program = getattr(app_or_program, "program", app_or_program)
+        failures = ()
+        if len(program.kernels) >= 1:
+            failures = (
+                OracleFailure("modes", "array-mismatch:batched", "synthetic"),
+            )
+        return OracleVerdict(app=name, passed=(), failures=failures)
+
+    monkeypatch.setattr(campaign_mod, "run_oracles", failing_oracles)
+    report = run_campaign(
+        CampaignConfig(
+            seed_start=4,
+            seed_end=4,
+            out_dir=str(tmp_path),
+            reduce_attempts=40,
+        )
+    )
+    assert report["summary"]["failures"] == 1
+    record = report["failures"][0]
+    assert record["oracle"] == "modes"
+    assert record["kind"] == "array-mismatch:batched"
+    repro_files = list(tmp_path.glob("repro-seed*.json"))
+    assert len(repro_files) == 1
+    entry = json.loads(repro_files[0].read_text())
+    assert entry["schema"] == "repro.fuzz.corpus/1"
+    assert entry["kind"] == "array-mismatch:batched"
+    # the reducer shrank the reproducer and it still parses
+    assert entry["reduced_size"] < entry["original_size"]
+    parse_program(entry["source"])
+
+
+def test_campaign_budget_stops_between_seeds(monkeypatch):
+    import repro.fuzz.campaign as campaign_mod
+
+    # every monotonic() call advances the fake clock 100s, so with a
+    # 150s budget the campaign runs exactly one seed then stops; the
+    # monotonically increasing fake is robust to extra clock reads from
+    # inside the oracle battery
+    clock = [0.0]
+
+    def fake_monotonic():
+        clock[0] += 100.0
+        return clock[0]
+
+    monkeypatch.setattr(campaign_mod.time, "monotonic", fake_monotonic)
+    report = run_campaign(
+        CampaignConfig(seed_start=0, seed_end=9, budget=150.0, reduce=False)
+    )
+    assert report["campaign"]["stopped_early"] is True
+    assert 1 <= report["summary"]["apps"] < 10
+
+
+def test_campaign_rejects_empty_seed_range():
+    with pytest.raises(ValueError):
+        run_campaign(CampaignConfig(seed_start=5, seed_end=4))

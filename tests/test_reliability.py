@@ -113,6 +113,37 @@ def test_parse_seam_specs_rejects_malformed_modifiers(spec):
         faults.parse_seam_specs(spec)
 
 
+# ------------------------------------------------- canonical seam registry
+
+
+def test_known_seams_is_the_canonical_registry():
+    import repro.reliability as reliability
+
+    assert reliability.KNOWN_SEAMS is faults.KNOWN_SEAMS
+    assert faults.SEAMS is faults.KNOWN_SEAMS  # compat alias
+    assert len(faults.KNOWN_SEAMS) == len(set(faults.KNOWN_SEAMS))
+    for seam in ("parse", "analysis", "codegen", "interpreter", "store"):
+        assert seam in faults.KNOWN_SEAMS
+
+
+def test_programmatic_plan_rejects_typo_seam():
+    # a typo'd seam must fail loudly at install time, not silently never fire
+    with pytest.raises(FaultInjectionError, match="unknown fault seam"):
+        faults.FaultPlan(
+            seams={"codegne": faults.parse_seam_specs("codegen")["codegen"]}
+        )
+
+
+def test_check_rejects_typo_seam_even_without_a_plan():
+    with pytest.raises(FaultInjectionError, match="unknown fault seam"):
+        faults.check("codegne")
+
+
+def test_poison_cache_value_rejects_typo_seam():
+    with pytest.raises(FaultInjectionError, match="unknown fault seam"):
+        faults.poison_cache_value("fitness_cahce")
+
+
 # ------------------------------------------------------ fault-plan mechanics
 
 
