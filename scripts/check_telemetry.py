@@ -4,6 +4,7 @@
 Usage::
 
     python scripts/check_telemetry.py WORKDIR [--trace PATH] [--metrics PATH]
+    python scripts/check_telemetry.py --ledger STORE_ROOT
 
 Checks, with plain asserts and no dependencies:
 
@@ -13,10 +14,14 @@ Checks, with plain asserts and no dependencies:
 * ``search_telemetry.jsonl`` — one well-formed row per GGA generation
   plus a trailing summary;
 * ``model_validation.json``  — per-kernel measured/projected pairs;
-* the metrics JSON    — counter/gauge/histogram series structure.
+* the metrics JSON    — counter/gauge/histogram series structure;
+* ``--ledger``        — every ``run_ledger`` envelope in an artifact
+  store: store envelope shape, ``repro.ledger/1`` payload schema,
+  run_id/key agreement and kind-specific required fields.
 
 Exit code 0 when everything validates, 1 with a message otherwise.
-CI runs this against a Fluam end-to-end run.
+CI runs this against a Fluam end-to-end run (and, in the warm-start
+job, against the shared store's ledger).
 """
 
 from __future__ import annotations
@@ -165,14 +170,93 @@ def check_metrics(path: Path) -> None:
     print(f"  metrics ok ({len(metrics['counters'])} counter series)")
 
 
+LEDGER_COMMON_FIELDS = (
+    "schema", "kind", "run_id", "timestamp", "unix_time", "pid",
+    "git_sha", "repro_version", "source", "exit_code",
+)
+
+TRANSFORM_FIELDS = (
+    "app", "config_digest", "seed", "stage_wall_time_s",
+    "total_wall_time_s", "speedup", "verified", "demotions",
+    "reused_stages", "store", "counters", "trace",
+)
+
+FUZZ_FIELDS = (
+    "seed_start", "seed_end", "seeds_run", "oracles", "failures",
+    "crashes", "unbucketed", "crash_buckets", "oracle_failures",
+)
+
+
+def check_ledger(root: Path) -> None:
+    base = root / "v1" / "run_ledger"
+    expect(base.is_dir(), f"{base} does not exist (no ledger records)")
+    paths = sorted(
+        p for p in base.rglob("*.json") if not p.name.startswith(".")
+    )
+    expect(bool(paths), "ledger namespace holds no records")
+    for path in paths:
+        envelope = load_json(path)
+        expect(isinstance(envelope, dict), f"{path} must be an object")
+        expect(envelope.get("schema") == "repro.store/1",
+               f"{path.name}: bad store envelope schema")
+        expect(envelope.get("namespace") == "run_ledger",
+               f"{path.name}: wrong namespace")
+        record = envelope.get("payload")
+        expect(isinstance(record, dict), f"{path.name}: payload missing")
+        expect(record.get("schema") == "repro.ledger/1",
+               f"{path.name}: bad ledger schema "
+               f"{record.get('schema')!r}")
+        for key in LEDGER_COMMON_FIELDS:
+            expect(key in record, f"{path.name}: missing field {key!r}")
+        expect(record["run_id"] == envelope.get("key") == path.stem,
+               f"{path.name}: run_id/key/filename disagree")
+        kind = record.get("kind")
+        if kind == "transform":
+            for key in TRANSFORM_FIELDS:
+                expect(key in record,
+                       f"{path.name}: transform record missing {key!r}")
+            times = record["stage_wall_time_s"]
+            expect(isinstance(times, dict), f"{path.name}: bad stage times")
+            for stage, value in times.items():
+                expect(stage in STAGES,
+                       f"{path.name}: unknown stage {stage!r}")
+                expect(isinstance(value, (int, float)) and value >= 0,
+                       f"{path.name}: bad time for stage {stage!r}")
+        elif kind == "fuzz":
+            fuzz = record.get("fuzz")
+            expect(isinstance(fuzz, dict),
+                   f"{path.name}: fuzz record missing its fuzz block")
+            for key in FUZZ_FIELDS:
+                expect(key in fuzz,
+                       f"{path.name}: fuzz block missing {key!r}")
+        else:
+            fail(f"{path.name}: unknown record kind {kind!r}")
+    print(f"  ledger ok ({len(paths)} records)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("workdir", help="pipeline working directory")
+    parser.add_argument("workdir", nargs="?", default=None,
+                        help="pipeline working directory")
     parser.add_argument("--trace", default=None,
                         help="trace file (default WORKDIR/trace.json)")
     parser.add_argument("--metrics", default=None,
                         help="metrics file (default WORKDIR/metrics.json)")
+    parser.add_argument("--ledger", default=None, metavar="STORE_ROOT",
+                        help="validate the run ledger of this store root")
     args = parser.parse_args(argv)
+
+    if args.ledger is not None:
+        root = Path(args.ledger)
+        expect(root.is_dir(), f"{root} is not a directory")
+        print(f"checking ledger in {root}")
+        check_ledger(root)
+        if args.workdir is None:
+            print("check_telemetry: OK")
+            return 0
+
+    if args.workdir is None:
+        parser.error("need a WORKDIR and/or --ledger STORE_ROOT")
 
     workdir = Path(args.workdir)
     expect(workdir.is_dir(), f"{workdir} is not a directory")

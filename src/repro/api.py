@@ -25,6 +25,7 @@ replaces it.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import warnings
 from contextlib import contextmanager
@@ -57,6 +58,8 @@ __all__ = [
     "TransformResult",
     "transform",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class EnvKnobDeprecationWarning(DeprecationWarning):
@@ -553,6 +556,66 @@ def _compiler_provenance() -> Dict[str, int]:
     return compiler.stats().as_dict()
 
 
+def _outcome_of(
+    state: Optional[PipelineState],
+) -> Tuple[Optional[float], Optional[bool], int]:
+    """(speedup, verified, demotions) from a possibly-partial state."""
+    speedup = None
+    verified = None
+    demotions = 0
+    if state is not None:
+        verified = state.verified
+        if state.transform is not None:
+            demotions = len(state.transform.demotions)
+            try:
+                speedup = state.speedup
+            except PipelineError:
+                speedup = None
+    return speedup, verified, demotions
+
+
+def _ledger_append(
+    config: TransformConfig,
+    source_label: str,
+    framework: Optional[Framework],
+    store: Optional[ArtifactStore],
+    exit_code: int,
+) -> None:
+    """Append this run to the store's run ledger.
+
+    Strictly fail-soft bookkeeping: skipped entirely when telemetry is
+    off or no store is attached, and a failed append degrades to a
+    warning — a run must never break on its own history.
+    """
+    if store is None or not telemetry_enabled():
+        return
+    from .observability.ledger import append_record, build_transform_record
+    from .observability.trace_analytics import summarize_spans
+
+    state = framework.state if framework is not None else None
+    speedup, verified, demotions = _outcome_of(state)
+    try:
+        record = build_transform_record(
+            source=source_label,
+            config=config.to_dict(),
+            seed=config.seed,
+            stage_times=(
+                framework.stage_times if framework is not None else {}
+            ),
+            speedup=speedup,
+            verified=verified,
+            demotions=demotions,
+            exit_code=exit_code,
+            reused=dict(state.reused) if state is not None else {},
+            store_stats=store.stats.as_dict(),
+            counters=get_registry().counter_totals(),
+            trace=summarize_spans(get_tracer().spans()),
+        )
+        append_record(store, record)
+    except Exception as exc:  # noqa: BLE001 - bookkeeping is best-effort
+        logger.warning("ledger: could not append run record (%s)", exc)
+
+
 def write_run_outputs(
     config: TransformConfig,
     source_label: str,
@@ -573,17 +636,7 @@ def write_run_outputs(
         # don't surprise the caller with a run.json in their cwd
         return
     state = framework.state if framework is not None else None
-    speedup = None
-    verified = None
-    demotions = 0
-    if state is not None:
-        verified = state.verified
-        if state.transform is not None:
-            demotions = len(state.transform.demotions)
-            try:
-                speedup = state.speedup
-            except PipelineError:
-                speedup = None
+    speedup, verified, demotions = _outcome_of(state)
     run_dir = Path(config.workdir) if config.workdir else Path(".")
     run_dir.mkdir(parents=True, exist_ok=True)
     manifest = build_run_manifest(
@@ -661,10 +714,14 @@ def transform(
                     "message": str(exc),
                 },
             )
+            _ledger_append(
+                resolved, source_label, framework, store, exit_code=2
+            )
             raise
         write_run_outputs(
             resolved, source_label, framework, store, exit_code=0
         )
+        _ledger_append(resolved, source_label, framework, store, exit_code=0)
         return TransformResult(
             state=state,
             config=resolved,

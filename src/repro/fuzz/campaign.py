@@ -15,6 +15,7 @@ unbucketed crashes*, not zero crashes).
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,6 +29,8 @@ from .reduce import program_size, reduce_program
 from .triage import build_report, bucket_exception, crash_record, write_report
 
 __all__ = ["CORPUS_SCHEMA", "CampaignConfig", "run_campaign"]
+
+logger = logging.getLogger(__name__)
 
 CORPUS_SCHEMA = "repro.fuzz.corpus/1"
 
@@ -48,6 +51,11 @@ class CampaignConfig:
     reduce_attempts: int = 120
     #: report + reproducer destination (None = report returned only)
     out_dir: Optional[str] = None
+    #: append a campaign record to the store's run ledger
+    #: (None = follow ``REPRO_STORE``)
+    store: Optional[bool] = None
+    #: ledger store root (None = ``REPRO_STORE`` / default root)
+    store_root: Optional[str] = None
     #: progress sink (e.g. ``print``); None = silent
     progress: Optional[Callable[[str], None]] = field(
         default=None, repr=False, compare=False
@@ -86,6 +94,33 @@ def _reduce_failure(
         return failure.signature() in verdict.signatures()
 
     return reduce_program(program, still_fails, max_attempts=attempts)
+
+
+def _ledger_append(config: CampaignConfig, report: Dict[str, object]) -> None:
+    """Append the campaign to the store's run ledger (fail-soft).
+
+    Runs only with telemetry on *and* a store opted in (explicitly via
+    ``CampaignConfig.store`` or through ``REPRO_STORE``), so nightly fuzz
+    history lands next to transform runs without changing default output.
+    """
+    from ..observability.ledger import append_record, build_fuzz_record
+    from ..observability.runtime import telemetry_enabled
+    from ..store.artifact_store import open_store, store_enabled_from_env
+
+    if not telemetry_enabled():
+        return
+    enabled = (
+        config.store if config.store is not None else store_enabled_from_env()
+    )
+    if not enabled:
+        return
+    store = open_store(config.store_root)
+    if store is None:
+        return
+    try:
+        append_record(store, build_fuzz_record(report))
+    except Exception as exc:  # noqa: BLE001 - bookkeeping is best-effort
+        logger.warning("ledger: could not append campaign record (%s)", exc)
 
 
 def run_campaign(config: CampaignConfig) -> Dict[str, object]:
@@ -188,4 +223,5 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
         f"{apps} apps, {len(failures)} oracle failures, "
         f"{len(crashes)} crashes in {campaign['duration_seconds']}s"
     )
+    _ledger_append(config, report)
     return report

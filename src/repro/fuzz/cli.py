@@ -105,6 +105,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="skip delta-debugging reduction of failing programs",
     )
     parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="ROOT",
+        help=(
+            "append a campaign record to the run ledger of the artifact "
+            "store at ROOT (default: REPRO_STORE / ~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="never write a ledger record, even with REPRO_STORE set",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-seed progress"
     )
     return parser
@@ -118,6 +134,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # argparse exits 2 on bad usage; normalize for callers of main()
         return int(exc.code or 0) and 2
     start, end = args.seeds
+    if args.no_store:
+        store, store_root = False, None
+    elif args.store is not None:
+        store, store_root = True, (args.store or None)
+    else:
+        store, store_root = None, None  # follow REPRO_STORE
     config = CampaignConfig(
         seed_start=start,
         seed_end=end,
@@ -125,6 +147,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         budget=args.budget,
         reduce=not args.no_reduce,
         out_dir=args.out,
+        store=store,
+        store_root=store_root,
         progress=None if args.quiet else lambda line: print(line, flush=True),
     )
     try:

@@ -16,6 +16,21 @@ switch (``REPRO_TELEMETRY`` / :func:`set_telemetry_enabled`):
 * :mod:`~repro.observability.runinfo` /
   :mod:`~repro.observability.model_validation` — the ``run.json``
   manifest and the counters-vs-perf-model validation report.
+
+On top of the per-run layer sits the *cross-run* layer (PR 8):
+
+* :mod:`~repro.observability.ledger` — the run ledger: one compact
+  record per run appended into the artifact store, with a query API;
+* :mod:`~repro.observability.trace_analytics` — critical-path
+  extraction, per-name self-time rollups and a text waterfall;
+* :mod:`~repro.observability.regress` — the regression sentinel's
+  comparison engine (ledger records and ``BENCH_*.json`` floors);
+* :mod:`~repro.observability.report_html` — the self-contained HTML run
+  report;
+* :mod:`~repro.observability.logfmt` — structured JSON log output with
+  trace/span correlation (``REPRO_LOG_FORMAT=json``);
+* :mod:`~repro.observability.cli` — the ``repro-obs`` command
+  (``list`` / ``show`` / ``diff`` / ``regress`` / ``report``).
 """
 
 from .hwcounters import (
@@ -24,6 +39,15 @@ from .hwcounters import (
     aggregate_counters,
     counters_signature,
 )
+from .ledger import (
+    LEDGER_SCHEMA,
+    RUN_LEDGER_NAMESPACE,
+    RunLedger,
+    append_record,
+    build_fuzz_record,
+    build_transform_record,
+)
+from .logfmt import ENV_LOG_FORMAT, JsonLogFormatter, configure_logging
 from .metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -31,6 +55,11 @@ from .metrics import (
     reset_registry,
 )
 from .model_validation import ModelValidationReport, validate_model
+from .regress import (
+    Finding,
+    compare_bench_records,
+    compare_ledger_records,
+)
 from .runinfo import build_run_manifest, env_knobs, git_sha, write_run_manifest
 from .runtime import (
     ENV_TELEMETRY,
@@ -44,30 +73,64 @@ from .search_telemetry import (
     search_telemetry_rows,
     write_jsonl,
 )
-from .tracing import SpanRecord, Tracer, get_tracer, reset_tracer, span
+from .trace_analytics import (
+    SpanStat,
+    critical_path,
+    render_waterfall,
+    rollup,
+    summarize_spans,
+)
+from .tracing import (
+    SpanRecord,
+    Tracer,
+    current_span_id,
+    current_trace_id,
+    get_tracer,
+    reset_tracer,
+    span,
+)
 
 __all__ = [
+    "ENV_LOG_FORMAT",
     "ENV_TELEMETRY",
+    "Finding",
+    "JsonLogFormatter",
     "KernelCounters",
+    "LEDGER_SCHEMA",
     "MetricsRegistry",
     "MetricsSnapshot",
     "ModelValidationReport",
+    "RUN_LEDGER_NAMESPACE",
+    "RunLedger",
     "SpanRecord",
+    "SpanStat",
     "Tracer",
     "MODE_INVARIANT_FIELDS",
     "aggregate_counters",
-    "counters_signature",
+    "append_record",
+    "build_fuzz_record",
     "build_run_manifest",
+    "build_transform_record",
+    "compare_bench_records",
+    "compare_ledger_records",
+    "configure_logging",
+    "counters_signature",
+    "critical_path",
+    "current_span_id",
+    "current_trace_id",
     "env_knobs",
     "get_registry",
     "get_tracer",
     "git_sha",
     "read_jsonl",
+    "render_waterfall",
     "reset_registry",
     "reset_tracer",
+    "rollup",
     "search_telemetry_rows",
     "set_telemetry_enabled",
     "span",
+    "summarize_spans",
     "telemetry",
     "telemetry_enabled",
     "telemetry_enabled_from_env",

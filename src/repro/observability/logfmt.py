@@ -1,0 +1,105 @@
+"""Structured log output: ``REPRO_LOG_FORMAT=json``.
+
+The pipeline's diagnostics go through stdlib :mod:`logging`; by default
+they render as the familiar ``LEVEL logger: message`` lines.  Setting
+``REPRO_LOG_FORMAT=json`` (or ``--log-format json`` on the CLIs) swaps
+the formatter for :class:`JsonLogFormatter`, which emits one JSON object
+per line with trace/span correlation fields:
+
+* ``trace_id`` — one id per process-wide tracer, so every log line of a
+  run shares a value that also appears nowhere else;
+* ``span_id`` — the id of the span open where the record was emitted
+  (``null`` outside any span or with telemetry disabled), joining log
+  lines to ``trace.json`` spans;
+* ``stage`` — present on pipeline-stage records (the framework passes it
+  via ``extra``), so a log pipeline can group by stage without parsing
+  messages.
+
+The formatter never throws on exotic records: unserializable extras are
+stringified, and exception info renders into an ``exc`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Optional
+
+from .tracing import current_span_id, current_trace_id
+
+__all__ = [
+    "ENV_LOG_FORMAT",
+    "JsonLogFormatter",
+    "configure_logging",
+    "log_format_from_env",
+]
+
+ENV_LOG_FORMAT = "REPRO_LOG_FORMAT"
+
+TEXT_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: record attributes every LogRecord has — anything else came in via
+#: ``extra`` and is forwarded into the JSON object
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+def log_format_from_env(default: str = "text") -> str:
+    """The configured log format: ``json`` or ``text``."""
+    raw = (os.environ.get(ENV_LOG_FORMAT) or "").strip().lower()
+    return "json" if raw == "json" else default
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log record, with trace/span correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        data = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            )
+            + f".{int(record.msecs):03d}",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "trace_id": current_trace_id(),
+            "span_id": current_span_id(),
+        }
+        for key, value in vars(record).items():
+            if key in _STANDARD_ATTRS or key in data:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            data[key] = value
+        if record.exc_info:
+            data["exc"] = self.formatException(record.exc_info)
+        return json.dumps(data, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: str = "warning", fmt: Optional[str] = None
+) -> None:
+    """Root-logger setup for the CLIs: level plus text/json formatter.
+
+    ``fmt=None`` resolves from ``REPRO_LOG_FORMAT`` (default ``text``).
+    Replaces existing root handlers so re-invocation (tests, embedding)
+    is idempotent.
+    """
+    resolved = fmt or log_format_from_env()
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        JsonLogFormatter() if resolved == "json"
+        else logging.Formatter(TEXT_FORMAT)
+    )
+    logging.basicConfig(
+        level=getattr(logging, level.upper(), logging.WARNING),
+        handlers=[handler],
+        force=True,
+    )

@@ -158,6 +158,15 @@ class MetricsRegistry:
         with self._lock:
             return sum(v for (n, _), v in self._counters.items() if n == name)
 
+    def counter_totals(self) -> Dict[str, float]:
+        """Every counter summed across label sets, keyed by name (the
+        compact metrics snapshot a ledger record carries)."""
+        totals: Dict[str, float] = {}
+        with self._lock:
+            for (name, _), value in self._counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))
+
     def gauge_value(self, name: str, **labels: object) -> Optional[float]:
         with self._lock:
             return self._gauges.get(_series_key(name, labels))

@@ -1,0 +1,226 @@
+"""The regression sentinel: compare runs, fail CI when the pipeline slows.
+
+Two comparison modes, both returning plain :class:`Finding` rows the CLI
+renders and gates on:
+
+* :func:`compare_ledger_records` — current run vs a ledger baseline:
+  per-stage and total wall time may not exceed ``baseline * threshold``
+  (with an absolute ``min_seconds`` floor so microsecond stages cannot
+  trip the ratio), and the projected speedup may not collapse below
+  ``baseline / threshold``.
+* :func:`compare_bench_records` — a fresh ``BENCH_*.json`` record vs the
+  committed one: throughput/speedup/hit-rate leaves may not drop below
+  ``1 - tolerance`` of the baseline, latency leaves (``*_ms`` / ``*_s``)
+  may not grow past ``1 + tolerance``.  Count-like leaves are ignored —
+  they are exactness checks, ``scripts/check_bench.py``'s job.
+
+Thresholds are deliberately ratio-based: CI runners are noisy, so the
+sentinel is tuned to catch collapses (a stage going 2x slower), not
+jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Finding",
+    "compare_bench_records",
+    "compare_ledger_records",
+    "render_findings",
+]
+
+
+@dataclass
+class Finding:
+    """One compared metric and its verdict."""
+
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: ratio current/baseline (inverted for lower-is-better metrics so
+    #: > 1 always means "worse")
+    ratio: Optional[float]
+    threshold: float
+    regressed: bool
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": None if self.ratio is None else round(self.ratio, 4),
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+            "note": self.note,
+        }
+
+
+def _ratio(worse: float, better: float) -> Optional[float]:
+    return None if better <= 0 else worse / better
+
+
+def compare_ledger_records(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    *,
+    threshold: float = 1.5,
+    min_seconds: float = 0.05,
+) -> List[Finding]:
+    """Wall-time and speedup findings for two transform ledger records."""
+    findings: List[Finding] = []
+    b_times: Dict[str, float] = dict(baseline.get("stage_wall_time_s") or {})
+    c_times: Dict[str, float] = dict(current.get("stage_wall_time_s") or {})
+    for stage in sorted(set(b_times) & set(c_times)):
+        b, c = float(b_times[stage]), float(c_times[stage])
+        regressed = c > b * threshold and (c - b) > min_seconds
+        findings.append(
+            Finding(
+                metric=f"stage_wall_time_s.{stage}",
+                baseline=b,
+                current=c,
+                ratio=_ratio(c, b),
+                threshold=threshold,
+                regressed=regressed,
+            )
+        )
+    b_total = float(baseline.get("total_wall_time_s") or 0.0)
+    c_total = float(current.get("total_wall_time_s") or 0.0)
+    findings.append(
+        Finding(
+            metric="total_wall_time_s",
+            baseline=b_total,
+            current=c_total,
+            ratio=_ratio(c_total, b_total),
+            threshold=threshold,
+            regressed=c_total > b_total * threshold
+            and (c_total - b_total) > min_seconds,
+        )
+    )
+    b_speed = baseline.get("speedup")
+    c_speed = current.get("speedup")
+    if isinstance(b_speed, (int, float)) and isinstance(c_speed, (int, float)):
+        findings.append(
+            Finding(
+                metric="speedup",
+                baseline=float(b_speed),
+                current=float(c_speed),
+                ratio=_ratio(float(b_speed), float(c_speed)),
+                threshold=threshold,
+                regressed=float(c_speed) * threshold < float(b_speed),
+                note="projected transformation speedup",
+            )
+        )
+    b_store = (baseline.get("store") or {})
+    c_store = (current.get("store") or {})
+    if "hit_rate" in b_store and "hit_rate" in c_store:
+        findings.append(
+            Finding(
+                metric="store.hit_rate",
+                baseline=float(b_store["hit_rate"]),
+                current=float(c_store["hit_rate"]),
+                ratio=None,
+                threshold=threshold,
+                regressed=False,
+                note="informational",
+            )
+        )
+    return findings
+
+
+# -------------------------------------------------------------- bench mode
+
+
+def _numeric_leaves(
+    record: Dict[str, object], prefix: str = ""
+) -> Dict[str, float]:
+    leaves: Dict[str, float] = {}
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            leaves.update(_numeric_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaves[path] = float(value)
+    return leaves
+
+
+def _classify(path: str) -> Optional[str]:
+    """'higher' / 'lower' (is better), or None for ungated leaves."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith(("_ms", "_s", "_seconds")):
+        return "lower"
+    if "per_sec" in leaf or "speedup" in leaf or "hit_rate" in leaf:
+        return "higher"
+    return None
+
+
+def compare_bench_records(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    *,
+    tolerance: float = 0.35,
+) -> List[Finding]:
+    """Ratio findings for two ``repro.bench/1`` records (committed floors
+    vs a fresh run); only performance-shaped leaves are gated."""
+    b_leaves = _numeric_leaves(baseline)
+    c_leaves = _numeric_leaves(current)
+    threshold = 1.0 + tolerance
+    findings: List[Finding] = []
+    for path in sorted(set(b_leaves) & set(c_leaves)):
+        direction = _classify(path)
+        if direction is None:
+            continue
+        b, c = b_leaves[path], c_leaves[path]
+        if direction == "lower":
+            ratio = _ratio(c, b)
+            regressed = c > b * threshold
+        else:
+            ratio = _ratio(b, c)
+            regressed = c < b * (1.0 - tolerance)
+        findings.append(
+            Finding(
+                metric=path,
+                baseline=b,
+                current=c,
+                ratio=ratio,
+                threshold=threshold,
+                regressed=regressed,
+                note=f"{direction} is better",
+            )
+        )
+    return findings
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Fixed-width table of findings (worst first)."""
+    if not findings:
+        return "(nothing to compare)"
+    rows: List[Tuple[str, str, str, str, str]] = []
+    ordered = sorted(
+        findings, key=lambda f: (not f.regressed, -(f.ratio or 0.0))
+    )
+    for f in ordered:
+        rows.append(
+            (
+                "REGRESSED" if f.regressed else "ok",
+                f.metric,
+                "-" if f.baseline is None else f"{f.baseline:.4g}",
+                "-" if f.current is None else f"{f.current:.4g}",
+                "-" if f.ratio is None else f"{f.ratio:.2f}x",
+            )
+        )
+    widths = [
+        max(len(header), *(len(r[i]) for r in rows))
+        for i, header in enumerate(("verdict", "metric", "baseline",
+                                    "current", "ratio"))
+    ]
+    header = ("verdict", "metric", "baseline", "current", "ratio")
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

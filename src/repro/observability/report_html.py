@@ -1,0 +1,307 @@
+"""Self-contained HTML run report (``repro-obs report``).
+
+One static page, zero external assets, built from the artifacts a
+telemetry-enabled run leaves in its workdir plus (optionally) the run
+ledger for cross-run context:
+
+* header — source, git SHA, outcome (speedup / verified / demotions);
+* stage waterfall — SVG bars over the per-stage wall times;
+* fitness curve — best/mean GGA fitness per generation from
+  ``search_telemetry.jsonl`` (absent on warm runs, and the page says so);
+* counter-vs-model table — measured interpreter bytes against the
+  analytic model's projections from ``model_validation.json``;
+* store hit table — per-namespace hits / misses / bytes from
+  ``run.json``'s store stats;
+* run history — recent ledger records for the same app.
+
+Everything is stdlib: hand-assembled HTML with inline CSS and SVG.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["build_report_html", "write_report_html"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #d8d8e0; padding-bottom: .25rem; }
+table { border-collapse: collapse; font-size: .85rem; margin: .5rem 0; }
+th, td { border: 1px solid #d8d8e0; padding: .3rem .6rem; text-align: right; }
+th { background: #f2f2f7; } td:first-child, th:first-child { text-align: left; }
+.kv { font-size: .9rem; } .kv dt { font-weight: 600; display: inline; }
+.kv dd { display: inline; margin: 0 1.2rem 0 .4rem; }
+.muted { color: #6a6a7a; font-size: .85rem; }
+svg text { font-family: inherit; }
+.ok { color: #0a7a3a; } .bad { color: #b02525; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape("" if value is None else str(value))
+
+
+def _load_json(path: Path) -> Optional[object]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+
+
+def _load_jsonl(path: Path) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    try:
+        text = path.read_text()
+    except OSError:
+        return rows
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------- sections
+
+
+def _header_section(run: Optional[Dict[str, object]]) -> str:
+    if not run:
+        return "<p class='muted'>no run.json found in the workdir</p>"
+    verified = run.get("verified")
+    verdict = (
+        "<span class='ok'>verified</span>" if verified
+        else "<span class='bad'>unverified</span>" if verified is False
+        else "n/a"
+    )
+    speedup = run.get("speedup")
+    parts = [
+        ("source", _esc(run.get("source"))),
+        ("git", _esc((run.get("git_sha") or "?")[:12])),
+        ("timestamp", _esc(run.get("timestamp"))),
+        ("speedup", "n/a" if speedup is None else f"{float(speedup):.3f}x"),
+        ("verification", verdict),
+        ("demotions", _esc(run.get("demotions", 0))),
+        ("exit code", _esc(run.get("exit_code", 0))),
+    ]
+    items = "".join(f"<dt>{k}</dt><dd>{v}</dd>" for k, v in parts)
+    return f"<dl class='kv'>{items}</dl>"
+
+
+def _waterfall_section(run: Optional[Dict[str, object]]) -> str:
+    times: Dict[str, float] = dict((run or {}).get("stage_wall_time_s") or {})
+    if not times:
+        return "<p class='muted'>no stage wall times recorded</p>"
+    total = sum(times.values()) or 1e-9
+    bar_w, row_h, label_w = 560, 26, 110
+    height = row_h * len(times) + 10
+    parts = [
+        f"<svg width='{bar_w + label_w + 130}' height='{height}' "
+        f"role='img' aria-label='stage waterfall'>"
+    ]
+    offset = 0.0
+    for i, (stage, seconds) in enumerate(times.items()):
+        y = 5 + i * row_h
+        x = label_w + offset / total * bar_w
+        w = max(2.0, seconds / total * bar_w)
+        parts.append(
+            f"<text x='{label_w - 8}' y='{y + 16}' text-anchor='end' "
+            f"font-size='12'>{_esc(stage)}</text>"
+            f"<rect x='{x:.1f}' y='{y}' width='{w:.1f}' height='{row_h - 8}' "
+            f"fill='#5b6abf' rx='2'/>"
+            f"<text x='{x + w + 6:.1f}' y='{y + 16}' font-size='12'>"
+            f"{seconds:.3f}s ({seconds / total * 100:.1f}%)</text>"
+        )
+        offset += seconds
+    parts.append("</svg>")
+    parts.append(
+        f"<p class='muted'>total {total:.3f}s across {len(times)} stages "
+        f"(bars laid out sequentially in execution order)</p>"
+    )
+    return "".join(parts)
+
+
+def _fitness_section(rows: Sequence[Dict[str, object]]) -> str:
+    gens = [r for r in rows if r.get("type") == "generation"]
+    if not gens:
+        return (
+            "<p class='muted'>no generation rows — the search result was "
+            "reused from the store (warm run) or telemetry was off</p>"
+        )
+
+    def series(key: str) -> List[float]:
+        return [
+            float(r[key]) for r in gens
+            if isinstance(r.get(key), (int, float))
+        ]
+
+    best, mean = series("best_fitness"), series("mean_fitness")
+    values = best + mean
+    if not values:
+        return "<p class='muted'>fitness rows carried no numeric data</p>"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    w, h, pad = 620, 180, 30
+
+    def polyline(points: List[float], color: str) -> str:
+        if len(points) < 2:
+            return ""
+        step = (w - 2 * pad) / (len(points) - 1)
+        coords = " ".join(
+            f"{pad + i * step:.1f},"
+            f"{h - pad - (v - lo) / span * (h - 2 * pad):.1f}"
+            for i, v in enumerate(points)
+        )
+        return (
+            f"<polyline points='{coords}' fill='none' stroke='{color}' "
+            f"stroke-width='2'/>"
+        )
+
+    return (
+        f"<svg width='{w}' height='{h}' role='img' aria-label='fitness curve'>"
+        f"<rect x='{pad}' y='{pad - 10}' width='{w - 2 * pad}' "
+        f"height='{h - 2 * pad + 10}' fill='#fafafc' stroke='#d8d8e0'/>"
+        + polyline(best, "#5b6abf") + polyline(mean, "#c08a3e")
+        + f"<text x='{pad}' y='{h - 6}' font-size='11'>generation 0.."
+        f"{len(gens) - 1} — <tspan fill='#5b6abf'>best</tspan> / "
+        f"<tspan fill='#c08a3e'>mean</tspan> fitness "
+        f"[{lo:.4g} .. {hi:.4g}] (lower is better)</text></svg>"
+    )
+
+
+def _model_section(validation: Optional[Dict[str, object]]) -> str:
+    kernels = (validation or {}).get("kernels")
+    if not kernels:
+        return "<p class='muted'>no model_validation.json in the workdir</p>"
+    rows = []
+    for entry in kernels:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(entry.get('kernel'))}</td>"
+            f"<td>{_esc(entry.get('measured_global_bytes'))}</td>"
+            f"<td>{_esc(entry.get('projected_bytes'))}</td>"
+            f"<td>{_esc(entry.get('bytes_ratio'))}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><tr><th>kernel launch</th><th>measured bytes</th>"
+        "<th>projected bytes</th><th>ratio</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _store_section(run: Optional[Dict[str, object]]) -> str:
+    store = (run or {}).get("store") or {}
+    if not store.get("enabled"):
+        return "<p class='muted'>store disabled for this run</p>"
+    stats = store.get("stats") or {}
+    namespaces = stats.get("namespaces") or {}
+    head = (
+        f"<dl class='kv'><dt>root</dt><dd>{_esc(store.get('root'))}</dd>"
+        f"<dt>hits</dt><dd>{_esc(stats.get('hits'))}</dd>"
+        f"<dt>misses</dt><dd>{_esc(stats.get('misses'))}</dd>"
+        f"<dt>hit rate</dt><dd>{_esc(stats.get('hit_rate'))}</dd>"
+        f"<dt>reused stages</dt>"
+        f"<dd>{_esc(', '.join(sorted(store.get('reused_stages') or {})) or 'none')}"
+        "</dd></dl>"
+    )
+    if not namespaces:
+        hits = stats.get("hit_namespaces") or {}
+        if not hits:
+            return head + "<p class='muted'>no per-namespace traffic</p>"
+        rows = "".join(
+            f"<tr><td>{_esc(ns)}</td><td>{count}</td></tr>"
+            for ns, count in sorted(hits.items())
+        )
+        return head + (
+            "<table><tr><th>namespace</th><th>hits</th></tr>"
+            + rows + "</table>"
+        )
+    rows = "".join(
+        "<tr>"
+        f"<td>{_esc(ns)}</td><td>{row.get('hits', 0)}</td>"
+        f"<td>{row.get('misses', 0)}</td><td>{row.get('writes', 0)}</td>"
+        f"<td>{row.get('bytes_read', 0)}</td>"
+        f"<td>{row.get('bytes_written', 0)}</td>"
+        "</tr>"
+        for ns, row in sorted(namespaces.items())
+    )
+    return head + (
+        "<table><tr><th>namespace</th><th>hits</th><th>misses</th>"
+        "<th>writes</th><th>bytes read</th><th>bytes written</th></tr>"
+        + rows + "</table>"
+    )
+
+
+def _history_section(records: Sequence[Dict[str, object]]) -> str:
+    if not records:
+        return "<p class='muted'>no ledger records available</p>"
+    rows = "".join(
+        "<tr>"
+        f"<td>{_esc((r.get('run_id') or '?')[:10])}</td>"
+        f"<td>{_esc(r.get('timestamp'))}</td>"
+        f"<td>{_esc((r.get('git_sha') or '?')[:10])}</td>"
+        f"<td>{float(r.get('total_wall_time_s') or 0.0):.3f}</td>"
+        f"<td>{_esc(r.get('speedup'))}</td>"
+        f"<td>{_esc(', '.join(sorted(r.get('reused_stages') or {})) or '-')}</td>"
+        "</tr>"
+        for r in records
+    )
+    return (
+        "<table><tr><th>run</th><th>timestamp</th><th>git</th>"
+        "<th>total s</th><th>speedup</th><th>reused</th></tr>"
+        + rows + "</table>"
+    )
+
+
+# ------------------------------------------------------------------- entry
+
+
+def build_report_html(
+    workdir: Path,
+    history: Optional[Sequence[Dict[str, object]]] = None,
+) -> str:
+    """Assemble the report page from one run's workdir artifacts."""
+    run = _load_json(workdir / "run.json")
+    run = run if isinstance(run, dict) else None
+    telemetry_rows = _load_jsonl(workdir / "search_telemetry.jsonl")
+    validation = _load_json(workdir / "model_validation.json")
+    validation = validation if isinstance(validation, dict) else None
+    title = f"repro run report — {_esc((run or {}).get('source', workdir.name))}"
+    sections = [
+        ("Run", _header_section(run)),
+        ("Stage waterfall", _waterfall_section(run)),
+        ("Search fitness", _fitness_section(telemetry_rows)),
+        ("Counters vs analytic model", _model_section(validation)),
+        ("Artifact store", _store_section(run)),
+        ("Run history (ledger)", _history_section(history or [])),
+    ]
+    body = "".join(
+        f"<h2>{_esc(name)}</h2>{content}" for name, content in sections
+    )
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{title}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{title}</h1>{body}"
+        "<p class='muted'>generated by repro-obs report — self-contained, "
+        "no external assets</p></body></html>"
+    )
+
+
+def write_report_html(
+    workdir: Path,
+    out: Path,
+    history: Optional[Sequence[Dict[str, object]]] = None,
+) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(build_report_html(workdir, history))

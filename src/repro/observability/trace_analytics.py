@@ -1,0 +1,232 @@
+"""Analytics over the span tree: critical path, rollups, waterfall.
+
+The tracer (:mod:`repro.observability.tracing`) records *what happened*;
+this module answers *where the time went*.  Three views over one run's
+completed spans:
+
+* :func:`critical_path` — the heaviest root-to-leaf chain of spans (the
+  sequence of nested operations that bounded the run's wall time);
+* :func:`rollup` — per-span-name aggregates: call count, total duration,
+  *self* time (duration minus direct children — the part a span spent in
+  its own code rather than delegating) and the single slowest instance;
+* :func:`render_waterfall` — a plain-text timeline of the span tree,
+  bars scaled to the run, for terminals and CI logs.
+
+Everything here consumes plain :class:`~repro.observability.tracing.
+SpanRecord` values (or the equivalent dicts loaded back from a
+``trace.json``), so the same analytics run live against the in-process
+tracer and offline against an exported Chrome trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .tracing import SpanRecord
+
+__all__ = [
+    "SpanStat",
+    "critical_path",
+    "rollup",
+    "render_waterfall",
+    "self_times",
+    "spans_from_chrome_trace",
+    "summarize_spans",
+]
+
+
+def spans_from_chrome_trace(trace: Dict[str, object]) -> List[SpanRecord]:
+    """Rebuild span records from an exported ``trace.json`` payload."""
+    spans: List[SpanRecord] = []
+    for event in trace.get("traceEvents", []):
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        if "span_id" not in args:
+            continue
+        extra = {
+            k: v for k, v in args.items() if k not in ("span_id", "parent_id")
+        }
+        spans.append(
+            SpanRecord(
+                span_id=int(args["span_id"]),
+                parent_id=args.get("parent_id"),
+                name=str(event.get("name", "?")),
+                start_us=float(event.get("ts", 0.0)),
+                duration_us=float(event.get("dur", 0.0)),
+                thread=int(event.get("tid", 0)),
+                args=extra,
+            )
+        )
+    return spans
+
+
+def _children_index(
+    spans: Sequence[SpanRecord],
+) -> Dict[Optional[int], List[SpanRecord]]:
+    index: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in spans:
+        index.setdefault(s.parent_id, []).append(s)
+    for kids in index.values():
+        kids.sort(key=lambda s: (s.start_us, s.span_id))
+    return index
+
+
+def _roots(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """Spans with no parent *in the recorded set* (dropped parents count)."""
+    ids = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id is None or s.parent_id not in ids]
+    roots.sort(key=lambda s: (s.start_us, s.span_id))
+    return roots
+
+
+def critical_path(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """The heaviest root-to-leaf chain: start at the longest root span and
+    repeatedly descend into the longest child.
+
+    Greedy descent is exact here because spans nest (a child runs inside
+    its parent's interval): the run's wall time is bounded by its longest
+    root, that root's by its longest child, and so on down.
+    """
+    if not spans:
+        return []
+    index = _children_index(spans)
+    path: List[SpanRecord] = []
+    node = max(_roots(spans), key=lambda s: s.duration_us, default=None)
+    seen = set()
+    while node is not None and node.span_id not in seen:
+        seen.add(node.span_id)
+        path.append(node)
+        node = max(
+            index.get(node.span_id, []),
+            key=lambda s: s.duration_us,
+            default=None,
+        )
+    return path
+
+
+def self_times(spans: Sequence[SpanRecord]) -> Dict[int, float]:
+    """Per-span self time in µs: duration minus direct children (>= 0)."""
+    index = _children_index(spans)
+    result: Dict[int, float] = {}
+    for s in spans:
+        child_us = sum(c.duration_us for c in index.get(s.span_id, []))
+        result[s.span_id] = max(0.0, s.duration_us - child_us)
+    return result
+
+
+@dataclass
+class SpanStat:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_us: float = 0.0
+    self_us: float = 0.0
+    max_us: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ms": round(self.total_us / 1000.0, 3),
+            "self_ms": round(self.self_us / 1000.0, 3),
+            "max_ms": round(self.max_us / 1000.0, 3),
+        }
+
+
+def rollup(spans: Sequence[SpanRecord]) -> Dict[str, SpanStat]:
+    """Per-name aggregates over every recorded span."""
+    selfs = self_times(spans)
+    stats: Dict[str, SpanStat] = {}
+    for s in spans:
+        stat = stats.setdefault(s.name, SpanStat(name=s.name))
+        stat.count += 1
+        stat.total_us += s.duration_us
+        stat.self_us += selfs[s.span_id]
+        stat.max_us = max(stat.max_us, s.duration_us)
+    return stats
+
+
+def summarize_spans(
+    spans: Sequence[SpanRecord], *, path_limit: int = 12, top: int = 16
+) -> Dict[str, object]:
+    """The compact trace block a ledger record carries.
+
+    ``critical_path`` is truncated to its first ``path_limit`` hops and
+    ``self_time_ms`` to the ``top`` names by aggregate self time, so the
+    record stays small no matter how many spans the run produced.
+    """
+    if not spans:
+        return {"span_count": 0, "critical_path": [], "self_time_ms": {}}
+    path = critical_path(spans)
+    stats = sorted(
+        rollup(spans).values(), key=lambda st: st.self_us, reverse=True
+    )
+    return {
+        "span_count": len(spans),
+        "critical_path": [
+            {"name": s.name, "duration_ms": round(s.duration_us / 1000.0, 3)}
+            for s in path[:path_limit]
+        ],
+        "self_time_ms": {
+            st.name: round(st.self_us / 1000.0, 3) for st in stats[:top]
+        },
+    }
+
+
+def render_waterfall(
+    spans: Iterable[SpanRecord],
+    *,
+    width: int = 48,
+    max_depth: int = 2,
+    min_fraction: float = 0.01,
+    name_width: int = 28,
+) -> str:
+    """Plain-text waterfall of the span tree.
+
+    One line per span down to ``max_depth``; the bar's offset and length
+    are scaled to the full recorded interval.  Spans shorter than
+    ``min_fraction`` of the run are folded into a trailing ``(+N below
+    threshold)`` note per parent so deep traces stay readable.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    t0 = min(s.start_us for s in spans)
+    t1 = max(s.start_us + s.duration_us for s in spans)
+    total = max(t1 - t0, 1e-9)
+    index = _children_index(spans)
+    lines: List[str] = []
+
+    def emit(node: SpanRecord, depth: int) -> None:
+        offset = int((node.start_us - t0) / total * width)
+        bar = max(1, int(node.duration_us / total * width))
+        bar = min(bar, width - min(offset, width - 1))
+        label = ("  " * depth + node.name)[: name_width - 1]
+        track = " " * min(offset, width - 1) + "#" * bar
+        lines.append(
+            f"{label:<{name_width}}|{track:<{width}}| "
+            f"{node.duration_us / 1000.0:10.2f} ms "
+            f"({node.duration_us / total * 100:5.1f}%)"
+        )
+        if depth >= max_depth:
+            return
+        hidden = 0
+        for child in index.get(node.span_id, []):
+            if child.duration_us / total < min_fraction:
+                hidden += 1
+                continue
+            emit(child, depth + 1)
+        if hidden:
+            label = ("  " * (depth + 1) + f"(+{hidden} below threshold)")
+            lines.append(f"{label:<{name_width}}|{'':<{width}}|")
+
+    for root in _roots(spans):
+        emit(root, 0)
+    header = (
+        f"{'span':<{name_width}}|{'timeline':<{width}}| "
+        f"{'duration':>10}    share"
+    )
+    return "\n".join([header, "-" * len(header)] + lines)

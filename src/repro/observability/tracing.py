@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import uuid
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -58,6 +59,9 @@ class Tracer:
         self._next_id = 1
         self._epoch = perf_counter()
         self.dropped = 0
+        #: correlation id shared by every span/log line of this tracer's
+        #: lifetime (see :mod:`repro.observability.logfmt`)
+        self.trace_id = uuid.uuid4().hex[:16]
 
     # ----------------------------------------------------------- recording
 
@@ -87,6 +91,7 @@ class Tracer:
             self._next_id = 1
             self._epoch = perf_counter()
             self.dropped = 0
+            self.trace_id = uuid.uuid4().hex[:16]
 
     # ------------------------------------------------------------ querying
 
@@ -218,6 +223,16 @@ def reset_tracer() -> None:
     global _tracer
     with _tracer_lock:
         _tracer = None
+
+
+def current_span_id() -> Optional[int]:
+    """The id of the innermost open span (None outside any span)."""
+    return _current_span_id.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The process tracer's correlation id (without instantiating one)."""
+    return _tracer.trace_id if _tracer is not None else None
 
 
 def span(name: str, **args: object) -> "_Span | _NullSpan":

@@ -13,7 +13,6 @@ output to the facade.
 from __future__ import annotations
 
 import argparse
-import logging
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -21,6 +20,7 @@ from pathlib import Path
 from ..api import TransformConfig, transform
 from ..errors import ConfigError, ReproError
 from ..gpu.device import available_devices
+from ..observability.logfmt import configure_logging
 from ..search.params import GAParams
 from .stages import STAGES
 
@@ -106,6 +106,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="warning",
         choices=("debug", "info", "warning", "error"),
         help="logging verbosity for pipeline diagnostics",
+    )
+    parser.add_argument(
+        "--log-format",
+        default=None,
+        choices=("text", "json"),
+        help=(
+            "log record format; json emits one object per line with "
+            "trace/span correlation ids (default: REPRO_LOG_FORMAT or text)"
+        ),
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="GA random seed (default: 12345)"
@@ -220,10 +229,7 @@ def _build_config(args) -> TransformConfig:
 
 def main(argv=None) -> int:
     args = build_arg_parser().parse_args(argv)
-    logging.basicConfig(
-        level=getattr(logging, args.log_level.upper()),
-        format="%(levelname)s %(name)s: %(message)s",
-    )
+    configure_logging(args.log_level, args.log_format)
     try:
         config = _build_config(args)
     except (ConfigError, ReproError) as exc:

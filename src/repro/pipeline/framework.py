@@ -82,7 +82,7 @@ class Framework:
         """
         if stage not in STAGES:
             raise PipelineError(f"unknown stage {stage!r}; stages: {STAGES}")
-        logger.info("running stage %s", stage)
+        logger.info("running stage %s", stage, extra={"stage": stage})
         start = time.perf_counter()
         try:
             with span(f"stage:{stage}"):
@@ -90,7 +90,9 @@ class Framework:
         except ReproError as exc:
             if exc.stage is None:
                 exc.stage = stage
-            logger.error("stage %s failed: %s", stage, exc)
+            logger.error(
+                "stage %s failed: %s", stage, exc, extra={"stage": stage}
+            )
             self._record_stage_time(stage, time.perf_counter() - start, failed=True)
             raise
         for callback in self._interventions[stage]:
@@ -100,7 +102,12 @@ class Framework:
         if stage not in self._completed:
             self._completed.append(stage)
         self._record_stage_time(stage, time.perf_counter() - start)
-        logger.info("stage %s complete: %s", stage, self.state.reports.get(stage, ""))
+        logger.info(
+            "stage %s complete: %s",
+            stage,
+            self.state.reports.get(stage, ""),
+            extra={"stage": stage},
+        )
         return self.state
 
     def _record_stage_time(

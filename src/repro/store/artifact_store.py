@@ -40,6 +40,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, Optional
 
 from .. import __version__
@@ -94,8 +95,26 @@ class StoreStats:
     invalid: int = 0
     writes: int = 0
     write_errors: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
     #: hits per namespace (provenance for ``run.json``)
     hit_namespaces: Dict[str, int] = field(default_factory=dict)
+    #: per-namespace traffic table (hits/misses/writes/bytes each way),
+    #: carried into ``run.json`` and the run ledger
+    namespaces: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def namespace(self, name: str) -> Dict[str, int]:
+        """The (created-on-demand) traffic row for one namespace."""
+        return self.namespaces.setdefault(
+            name,
+            {
+                "hits": 0,
+                "misses": 0,
+                "writes": 0,
+                "bytes_read": 0,
+                "bytes_written": 0,
+            },
+        )
 
     @property
     def lookups(self) -> int:
@@ -112,8 +131,14 @@ class StoreStats:
             "invalid": self.invalid,
             "writes": self.writes,
             "write_errors": self.write_errors,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
             "hit_rate": round(self.hit_rate, 4),
             "hit_namespaces": dict(sorted(self.hit_namespaces.items())),
+            "namespaces": {
+                ns: dict(row)
+                for ns, row in sorted(self.namespaces.items())
+            },
         }
 
 
@@ -143,18 +168,19 @@ class ArtifactStore:
         """
         path = self.path_for(namespace, key)
         registry = get_registry()
+        start = perf_counter()
         with span("store:get", namespace=namespace):
             try:
                 raw = path.read_text()
             except FileNotFoundError:
-                self._record_miss(namespace, registry, outcome="miss")
+                self._record_miss(namespace, registry, "miss", start)
                 return None
             except OSError as exc:
                 logger.warning(
                     "store: unreadable entry %s (%s); treating as a miss",
                     path, exc,
                 )
-                self._record_miss(namespace, registry, outcome="error")
+                self._record_miss(namespace, registry, "error", start)
                 return None
             if faults.poison_cache_value("store"):
                 raw = raw[: len(raw) // 2] + "\x00poisoned"
@@ -162,18 +188,37 @@ class ArtifactStore:
             if payload is None:
                 self._quarantine(path)
                 self.stats.invalid += 1
-                self._record_miss(namespace, registry, outcome="invalid")
+                self._record_miss(namespace, registry, "invalid", start)
                 return None
+            nbytes = len(raw.encode("utf-8", "replace"))
             self.stats.hits += 1
+            self.stats.bytes_read += nbytes
             self.stats.hit_namespaces[namespace] = (
                 self.stats.hit_namespaces.get(namespace, 0) + 1
             )
+            row = self.stats.namespace(namespace)
+            row["hits"] += 1
+            row["bytes_read"] += nbytes
             registry.inc("store_reads_total", namespace=namespace, outcome="hit")
+            registry.inc("store_read_bytes_total", nbytes, namespace=namespace)
+            registry.observe(
+                "store_read_seconds", perf_counter() - start,
+                namespace=namespace,
+            )
             return payload
 
-    def _record_miss(self, namespace: str, registry, outcome: str) -> None:
+    def _record_miss(
+        self, namespace: str, registry, outcome: str,
+        start: Optional[float] = None,
+    ) -> None:
         self.stats.misses += 1
+        self.stats.namespace(namespace)["misses"] += 1
         registry.inc("store_reads_total", namespace=namespace, outcome=outcome)
+        if start is not None:
+            registry.observe(
+                "store_read_seconds", perf_counter() - start,
+                namespace=namespace,
+            )
 
     def _validate(
         self, namespace: str, key: str, raw: str
@@ -234,16 +279,18 @@ class ArtifactStore:
             "payload": payload,
         }
         registry = get_registry()
+        start = perf_counter()
         with span("store:put", namespace=namespace):
             try:
+                body = json.dumps(envelope, sort_keys=True) + "\n"
+                nbytes = len(body.encode("utf-8"))
                 path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp = tempfile.mkstemp(
                     dir=str(path.parent), prefix=".tmp-", suffix=".json"
                 )
                 try:
                     with os.fdopen(fd, "w") as fh:
-                        json.dump(envelope, fh, sort_keys=True)
-                        fh.write("\n")
+                        fh.write(body)
                     os.replace(tmp, path)
                 except BaseException:
                     try:
@@ -262,7 +309,15 @@ class ArtifactStore:
                 )
                 return False
         self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        row = self.stats.namespace(namespace)
+        row["writes"] += 1
+        row["bytes_written"] += nbytes
         registry.inc("store_writes_total", namespace=namespace, outcome="ok")
+        registry.inc("store_write_bytes_total", nbytes, namespace=namespace)
+        registry.observe(
+            "store_write_seconds", perf_counter() - start, namespace=namespace
+        )
         return True
 
     # ----------------------------------------------------------- maintenance

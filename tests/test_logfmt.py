@@ -1,0 +1,141 @@
+"""Structured JSON logging with trace/span correlation (PR 8)."""
+
+import json
+import logging
+
+import pytest
+
+from repro.observability import telemetry
+from repro.observability.logfmt import (
+    ENV_LOG_FORMAT,
+    JsonLogFormatter,
+    configure_logging,
+    log_format_from_env,
+)
+from repro.observability.tracing import get_tracer, reset_tracer, span
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracer()
+    yield
+    reset_tracer()
+
+
+@pytest.fixture(autouse=True)
+def _preserve_root_logging():
+    root = logging.getLogger()
+    handlers, level = list(root.handlers), root.level
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+def _format(record_args=None, **extra):
+    record = logging.LogRecord(
+        name="repro.pipeline.framework",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg="stage %s complete",
+        args=record_args or ("search",),
+        exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return json.loads(JsonLogFormatter().format(record))
+
+
+def test_formatter_emits_core_fields():
+    tracer = get_tracer()  # materialize the process tracer first
+    data = _format()
+    assert data["level"] == "info"
+    assert data["logger"] == "repro.pipeline.framework"
+    assert data["message"] == "stage search complete"
+    assert "ts" in data
+    # correlation fields are always present, null outside any span
+    assert data["trace_id"] == tracer.trace_id
+    assert data["span_id"] is None
+
+
+def test_formatter_forwards_extra_attributes():
+    data = _format(stage="search", attempt=2)
+    assert data["stage"] == "search"
+    assert data["attempt"] == 2
+
+
+def test_formatter_stringifies_unserializable_extras():
+    data = _format(payload={1, 2})
+    assert isinstance(data["payload"], str)
+    assert "1" in data["payload"]
+
+
+def test_formatter_renders_exceptions():
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        record = logging.LogRecord(
+            "t", logging.ERROR, __file__, 1, "failed", None,
+            exc_info=__import__("sys").exc_info(),
+        )
+    data = json.loads(JsonLogFormatter().format(record))
+    assert "boom" in data["exc"]
+    assert "ValueError" in data["exc"]
+
+
+def test_span_id_correlates_with_open_span():
+    with telemetry(True):
+        with span("stage:search"):
+            data = _format()
+            open_ids = {s for s in [data["span_id"]] if s is not None}
+    assert open_ids  # inside a span the id is populated...
+    spans = {s.span_id for s in get_tracer().spans()}
+    assert open_ids <= spans  # ...and joins to the recorded trace
+
+
+def test_log_format_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_LOG_FORMAT, raising=False)
+    assert log_format_from_env() == "text"
+    monkeypatch.setenv(ENV_LOG_FORMAT, "json")
+    assert log_format_from_env() == "json"
+    monkeypatch.setenv(ENV_LOG_FORMAT, "JSON ")
+    assert log_format_from_env() == "json"
+    monkeypatch.setenv(ENV_LOG_FORMAT, "yaml")
+    assert log_format_from_env() == "text"
+
+
+def test_configure_logging_swaps_formatter_idempotently(monkeypatch):
+    monkeypatch.delenv(ENV_LOG_FORMAT, raising=False)
+    configure_logging("info", "json")
+    root = logging.getLogger()
+    assert len(root.handlers) == 1
+    assert isinstance(root.handlers[0].formatter, JsonLogFormatter)
+    assert root.level == logging.INFO
+    # re-invocation replaces, never stacks, handlers
+    configure_logging("warning", "text")
+    assert len(root.handlers) == 1
+    assert not isinstance(root.handlers[0].formatter, JsonLogFormatter)
+    assert root.level == logging.WARNING
+
+
+def test_configure_logging_reads_env(monkeypatch):
+    monkeypatch.setenv(ENV_LOG_FORMAT, "json")
+    configure_logging("warning")
+    assert isinstance(
+        logging.getLogger().handlers[0].formatter, JsonLogFormatter
+    )
+
+
+def test_stage_records_carry_stage_and_trace_ids(capsys):
+    """A framework-style record through a configured root logger."""
+    configure_logging("info", "json")
+    with telemetry(True):
+        with span("stage:codegen"):
+            logging.getLogger("repro.pipeline.framework").info(
+                "running stage %s", "codegen", extra={"stage": "codegen"}
+            )
+    line = capsys.readouterr().err.strip().splitlines()[-1]
+    data = json.loads(line)
+    assert data["stage"] == "codegen"
+    assert data["trace_id"] == get_tracer().trace_id
+    assert data["span_id"] is not None

@@ -155,3 +155,58 @@ def test_env_enablement(tmp_path):
     assert store_enabled_from_env({"REPRO_STORE": str(tmp_path)})
     assert default_store_root({"REPRO_STORE": str(tmp_path)}) == str(tmp_path)
     assert default_store_root({}) == "~/.cache/repro"
+
+
+# -------------------------------------------------- instrumentation (PR 8)
+
+
+def test_stats_track_bytes_and_namespaces(store):
+    key = "k" * 64
+    store.put("metadata", key, {"answer": 42})
+    store.get("metadata", key)
+    store.get("graphs", "0" * 64)  # miss in another namespace
+    stats = store.stats
+    assert stats.bytes_written > 0
+    assert stats.bytes_read == stats.bytes_written  # same envelope back
+    meta = stats.namespaces["metadata"]
+    assert meta["writes"] == 1 and meta["hits"] == 1 and meta["misses"] == 0
+    assert meta["bytes_written"] == stats.bytes_written
+    assert meta["bytes_read"] == stats.bytes_read
+    graphs = stats.namespaces["graphs"]
+    assert graphs["misses"] == 1 and graphs["hits"] == 0
+    as_dict = stats.as_dict()
+    assert as_dict["bytes_read"] == stats.bytes_read
+    assert as_dict["namespaces"]["metadata"]["hits"] == 1
+    # the pre-existing summary keys survive for older consumers
+    assert as_dict["hits"] == 1 and as_dict["misses"] == 1
+
+
+def test_store_metrics_counters_and_latency(store):
+    from repro.observability import telemetry
+    from repro.observability.metrics import get_registry, reset_registry
+
+    reset_registry()
+    try:
+        with telemetry(True):
+            key = "m" * 64
+            store.put("metadata", key, {"answer": 42})
+            store.get("metadata", key)
+            store.get("metadata", "0" * 64)
+        registry = get_registry()
+        totals = registry.counter_totals()
+        assert totals["store_write_bytes_total"] > 0
+        assert totals["store_read_bytes_total"] > 0
+        snapshot = registry.snapshot()
+        # one series per (name, labels) key; hit + miss both observed
+        reads = sum(
+            hist.count for (name, _), hist in snapshot.histograms.items()
+            if name == "store_read_seconds"
+        )
+        assert reads == 2
+        writes = sum(
+            hist.count for (name, _), hist in snapshot.histograms.items()
+            if name == "store_write_seconds"
+        )
+        assert writes == 1
+    finally:
+        reset_registry()

@@ -1,0 +1,176 @@
+"""Trace analytics: critical path, self time, rollups, waterfall (PR 8).
+
+All tests drive the pure functions against a hand-built span tree whose
+shape and durations are fully controlled, so every expected value is
+computed by hand:
+
+    root (100ms)
+    ├── search (60ms)
+    │   ├── gen0 (20ms)
+    │   └── gen1 (30ms)
+    └── codegen (25ms)
+    side (5ms, separate root)
+"""
+
+import pytest
+
+from repro.observability import telemetry
+from repro.observability.tracing import (
+    SpanRecord,
+    get_tracer,
+    reset_tracer,
+    span,
+)
+from repro.observability.trace_analytics import (
+    critical_path,
+    render_waterfall,
+    rollup,
+    self_times,
+    spans_from_chrome_trace,
+    summarize_spans,
+)
+
+
+def _span(span_id, parent_id, name, start_ms, dur_ms):
+    return SpanRecord(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start_us=start_ms * 1000.0,
+        duration_us=dur_ms * 1000.0,
+        thread=1,
+    )
+
+
+@pytest.fixture
+def tree():
+    return [
+        _span(1, None, "root", 0, 100),
+        _span(2, 1, "search", 0, 60),
+        _span(3, 2, "gen0", 0, 20),
+        _span(4, 2, "gen1", 20, 30),
+        _span(5, 1, "codegen", 60, 25),
+        _span(6, None, "side", 100, 5),
+    ]
+
+
+# ----------------------------------------------------------- critical path
+
+
+def test_critical_path_descends_heaviest_chain(tree):
+    path = [s.name for s in critical_path(tree)]
+    assert path == ["root", "search", "gen1"]
+
+
+def test_critical_path_empty():
+    assert critical_path([]) == []
+
+
+def test_critical_path_picks_heaviest_root(tree):
+    # make the side root the heaviest — the path must start there
+    tree[-1] = _span(6, None, "side", 100, 500)
+    assert [s.name for s in critical_path(tree)] == ["side"]
+
+
+def test_critical_path_tolerates_dangling_parent():
+    # a span whose parent was dropped by the tracer cap acts as a root
+    spans = [_span(7, 999, "orphan", 0, 10), _span(8, 7, "child", 0, 4)]
+    assert [s.name for s in critical_path(spans)] == ["orphan", "child"]
+
+
+def test_critical_path_terminates_on_id_cycle():
+    # malformed input (parent cycles) must not loop forever; with no
+    # resolvable root the path degrades to empty rather than hanging
+    assert critical_path([_span(1, 1, "loop", 0, 10)]) == []
+    two_cycle = [_span(1, 2, "a", 0, 10), _span(2, 1, "b", 0, 10)]
+    assert critical_path(two_cycle) == []
+
+
+# --------------------------------------------------------------- self time
+
+
+def test_self_times_subtract_direct_children(tree):
+    selfs = self_times(tree)
+    assert selfs[1] == pytest.approx(15_000.0)  # 100 - (60 + 25)
+    assert selfs[2] == pytest.approx(10_000.0)  # 60 - (20 + 30)
+    assert selfs[3] == pytest.approx(20_000.0)  # leaf keeps everything
+    assert selfs[6] == pytest.approx(5_000.0)
+
+
+def test_self_times_clamped_at_zero():
+    # overlapping children longer than the parent (thread pools) clamp to 0
+    spans = [_span(1, None, "p", 0, 10), _span(2, 1, "a", 0, 8),
+             _span(3, 1, "b", 0, 8)]
+    assert self_times(spans)[1] == 0.0
+
+
+# ------------------------------------------------------------------ rollup
+
+
+def test_rollup_aggregates_by_name(tree):
+    tree.append(_span(7, 1, "codegen", 85, 10))
+    stats = rollup(tree)
+    assert stats["codegen"].count == 2
+    assert stats["codegen"].total_us == pytest.approx(35_000.0)
+    assert stats["codegen"].max_us == pytest.approx(25_000.0)
+    d = stats["codegen"].as_dict()
+    assert d["total_ms"] == 35.0 and d["count"] == 2
+
+
+def test_summarize_spans_shape_and_truncation(tree):
+    summary = summarize_spans(tree, path_limit=2, top=3)
+    assert summary["span_count"] == 6
+    assert [hop["name"] for hop in summary["critical_path"]] == [
+        "root", "search",
+    ]
+    assert len(summary["self_time_ms"]) == 3
+    # gen1 (30ms self) must be among the top-3 self times
+    assert summary["self_time_ms"]["gen1"] == 30.0
+
+
+def test_summarize_spans_empty():
+    assert summarize_spans([]) == {
+        "span_count": 0, "critical_path": [], "self_time_ms": {},
+    }
+
+
+# --------------------------------------------------------------- waterfall
+
+
+def test_waterfall_renders_all_roots_and_durations(tree):
+    text = render_waterfall(tree)
+    assert "root" in text and "side" in text
+    assert "100.00 ms" in text
+    assert "#" in text
+
+
+def test_waterfall_folds_below_threshold(tree):
+    tree.append(_span(7, 1, "tiny", 99, 0.1))
+    text = render_waterfall(tree, min_fraction=0.05)
+    assert "tiny" not in text
+    assert "below threshold" in text
+
+
+def test_waterfall_empty():
+    assert render_waterfall([]) == "(no spans recorded)"
+
+
+# ----------------------------------------------- chrome trace round-trip
+
+
+def test_spans_round_trip_through_chrome_trace():
+    reset_tracer()
+    try:
+        with telemetry(True):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        tracer = get_tracer()
+        restored = spans_from_chrome_trace(tracer.to_chrome_trace())
+    finally:
+        reset_tracer()
+    assert {s.name for s in restored} == {"outer", "inner"}
+    assert [s.name for s in critical_path(restored)] == ["outer", "inner"]
+    # metadata events (ph == 'M') are ignored
+    by_name = {s.name: s for s in restored}
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
