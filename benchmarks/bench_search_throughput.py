@@ -196,6 +196,42 @@ def test_parallel_evaluation(benchmark):
     _ROWS["parallel"] = benchmark.pedantic(run, rounds=1, iterations=1)
 
 
+def test_time_to_target(benchmark):
+    """Time-to-target-fitness for the stock single-population GGA.
+
+    The target is the run's own final best fitness; the row records when
+    the trajectory first reached it (wall seconds, generation, exact
+    evaluations) — the same metric ``bench_islands.py`` scales over K.
+    """
+
+    def run():
+        problem = _search_problem("AWP-ODC-GPU")
+        params = bench_params()
+        reset_shared_cache()
+        result, wall, _ = _timed_gga(problem, params)
+        target = result.best_fitness
+        crossing = next(
+            s for s in result.history
+            if s.best_feasible_fitness >= 0.999 * target
+        )
+        return {
+            "best_fitness": result.best_fitness,
+            "wall_s": wall,
+            "time_to_target_s": crossing.elapsed_s,
+            "generation_at_target": crossing.generation,
+            "evaluations_at_target": crossing.evaluations,
+            "target_eps": (
+                crossing.evaluations / crossing.elapsed_s
+                if crossing.elapsed_s else 0.0
+            ),
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS["target"] = row
+    assert row["time_to_target_s"] <= row["wall_s"]
+    assert row["generation_at_target"] <= bench_params().generations
+
+
 def test_batched_interpretation(benchmark):
     def run():
         from repro.gpu import compiler
@@ -271,6 +307,12 @@ def test_throughput_print(benchmark):
         row = _ROWS["parallel"]
         print(f"\nthread workers (4): {row['par_eps']:.0f} lookups/sec "
               f"vs sequential {row['seq_eps']:.0f}")
+    if "target" in _ROWS:
+        row = _ROWS["target"]
+        print(f"\ntime-to-target-fitness: best {row['best_fitness']:.3f} "
+              f"first reached at {row['time_to_target_s']:.2f}s "
+              f"(gen {row['generation_at_target']}, "
+              f"{row['evaluations_at_target']} exact evaluations)")
     if "batched" in _ROWS:
         row = _ROWS["batched"]
         print(f"\nbatched block interpretation: {row['batched_ms']:.1f} ms "
@@ -308,6 +350,15 @@ def _write_bench_json() -> None:
         record["parallel_evaluation"] = {
             "sequential_evals_per_sec": round(row["seq_eps"], 1),
             "parallel4_evals_per_sec": round(row["par_eps"], 1),
+        }
+    if "target" in _ROWS:
+        row = _ROWS["target"]
+        record["search"] = {
+            "best_fitness": round(row["best_fitness"], 3),
+            "time_to_target_s": round(row["time_to_target_s"], 3),
+            "generation_at_target": row["generation_at_target"],
+            "evaluations_at_target": row["evaluations_at_target"],
+            "target_evals_per_sec": round(row["target_eps"], 1),
         }
     if "batched" in _ROWS:
         row = _ROWS["batched"]

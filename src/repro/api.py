@@ -132,6 +132,33 @@ ENV_KNOBS: Dict[str, _EnvKnob] = {
     "telemetry": _EnvKnob(
         "REPRO_TELEMETRY", _parse_bool, _serialize_bool, True, legacy=False
     ),
+    # island-model search knobs (new; no deprecation path).  Default None
+    # = defer to the GAParams value, so an unset config never clobbers an
+    # explicit GA parameter file.
+    "islands": _EnvKnob(
+        "REPRO_ISLANDS", int, _serialize_optional, None, legacy=False
+    ),
+    "migration_interval": _EnvKnob(
+        "REPRO_ISLANDS_MIGRATION_INTERVAL",
+        int,
+        _serialize_optional,
+        None,
+        legacy=False,
+    ),
+    "migration_size": _EnvKnob(
+        "REPRO_ISLANDS_MIGRATION_SIZE",
+        int,
+        _serialize_optional,
+        None,
+        legacy=False,
+    ),
+    "surrogate_topk": _EnvKnob(
+        "REPRO_ISLANDS_SURROGATE_TOPK",
+        float,
+        _serialize_optional,
+        None,
+        legacy=False,
+    ),
 }
 
 ENV_STORE = "REPRO_STORE"
@@ -204,6 +231,17 @@ class TransformConfig:
     block_exec: Optional[str] = None
     #: observability layer on/off (REPRO_TELEMETRY)
     telemetry: Optional[bool] = None
+    #: GGA island subpopulations, 1 = classic single-population search
+    #: (REPRO_ISLANDS); ``None`` defers to the GA parameter set
+    islands: Optional[int] = None
+    #: generations between elite migrations
+    #: (REPRO_ISLANDS_MIGRATION_INTERVAL)
+    migration_interval: Optional[int] = None
+    #: elites exchanged per migration epoch (REPRO_ISLANDS_MIGRATION_SIZE)
+    migration_size: Optional[int] = None
+    #: fraction of offspring admitted to exact evaluation after surrogate
+    #: ranking, 1.0 = pre-filter off (REPRO_ISLANDS_SURROGATE_TOPK)
+    surrogate_topk: Optional[float] = None
     #: persistent cross-run artifact store (REPRO_STORE opts in)
     store: Optional[bool] = None
     #: store root directory (default ``~/.cache/repro``)
@@ -243,6 +281,16 @@ class TransformConfig:
                 f"block_exec must be 'auto', 'loop', 'batched' or "
                 f"'compiled', not {self.block_exec!r}"
             )
+        if self.islands is not None and self.islands < 1:
+            raise ConfigError("islands must be >= 1")
+        if self.migration_interval is not None and self.migration_interval < 1:
+            raise ConfigError("migration_interval must be >= 1")
+        if self.migration_size is not None and self.migration_size < 1:
+            raise ConfigError("migration_size must be >= 1")
+        if self.surrogate_topk is not None and not (
+            0.0 < self.surrogate_topk <= 1.0
+        ):
+            raise ConfigError("surrogate_topk must be in (0, 1]")
 
     # ---------------------------------------------------- env round-trip
 
@@ -387,7 +435,18 @@ class TransformConfig:
         return query_device(self.device)
 
     def resolved_ga_params(self) -> GAParams:
-        return self.ga_params or fast_params(seed=self.seed)
+        params = self.ga_params or fast_params(seed=self.seed)
+        overrides: Dict[str, Any] = {}
+        for name in (
+            "islands",
+            "migration_interval",
+            "migration_size",
+            "surrogate_topk",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                overrides[name] = value
+        return replace(params, **overrides) if overrides else params
 
     def pipeline_config(
         self, store: Optional[ArtifactStore] = None

@@ -68,6 +68,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--ga-params", default=None, help="GA parameter file (see GAParams)"
     )
     parser.add_argument(
+        "--islands",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "GGA island subpopulations (default: REPRO_ISLANDS or the GA "
+            "parameter set; 1 = classic single-population search)"
+        ),
+    )
+    parser.add_argument(
+        "--migration-interval",
+        type=int,
+        default=None,
+        metavar="M",
+        help="generations between elite migrations in island mode",
+    )
+    parser.add_argument(
+        "--migration-size",
+        type=int,
+        default=None,
+        metavar="E",
+        help="elites exchanged per migration epoch in island mode",
+    )
+    parser.add_argument(
+        "--surrogate-topk",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "fraction of offspring admitted to exact fitness evaluation "
+            "after the analytic-model-only surrogate ranking "
+            "(1.0 disables the pre-filter)"
+        ),
+    )
+    parser.add_argument(
         "--no-fission", action="store_true", help="disable kernel fission"
     )
     parser.add_argument(
@@ -192,6 +227,14 @@ def _build_config(args) -> TransformConfig:
         overrides["seed"] = args.seed
     if args.ga_params:
         overrides["ga_params"] = GAParams.read(args.ga_params)
+    if args.islands is not None:
+        overrides["islands"] = args.islands
+    if args.migration_interval is not None:
+        overrides["migration_interval"] = args.migration_interval
+    if args.migration_size is not None:
+        overrides["migration_size"] = args.migration_size
+    if args.surrogate_topk is not None:
+        overrides["surrogate_topk"] = args.surrogate_topk
     if args.until is not None:
         overrides["until"] = args.until
     if args.workdir is not None:

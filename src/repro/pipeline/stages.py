@@ -340,6 +340,7 @@ def stage_search(state: PipelineState) -> PipelineState:
                 state.config.device,
                 params,
                 seed_population=seeds or None,
+                store=store,
             )
         except ReproError as exc:
             if not state.config.fail_soft:
@@ -376,6 +377,21 @@ def stage_search(state: PipelineState) -> PipelineState:
         search_note += (
             f"; {len(state.built.analysis_failures)} launches "
             f"analyzed conservatively ({failed})"
+        )
+    if result.islands > 1:
+        search_note += (
+            f"; {result.islands} islands, "
+            f"{result.migrations_received} migrants exchanged"
+            + (
+                f" ({result.migrations_dropped} dropped)"
+                if result.migrations_dropped
+                else ""
+            )
+        )
+    if result.surrogate_skipped:
+        search_note += (
+            f"; surrogate pre-filter skipped {result.surrogate_skipped} "
+            f"exact evaluations"
         )
     state.reports["search"] = (
         f"GGA: {result.generations_run} generations, "

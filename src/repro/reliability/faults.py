@@ -30,6 +30,10 @@ Seams
     Fired inside evaluator workers only: a crash kills the worker (a
     real ``os._exit`` in process children, a raised error in threads), a
     hang sleeps long enough to trip the evaluation timeout.
+``island_migration``
+    Drops an elite-migration payload on delivery between GGA islands;
+    the receiving island must continue solo and record a
+    ``migration_note`` in the search telemetry.
 
 Configuration
 -------------
@@ -79,6 +83,7 @@ KNOWN_SEAMS = (
     "store",
     "worker_crash",
     "worker_hang",
+    "island_migration",
 )
 
 #: backwards-compatible alias for :data:`KNOWN_SEAMS`

@@ -11,6 +11,7 @@ from .fitness_cache import (
     reset_shared_cache,
 )
 from .gga import GGA, GenerationStats, SearchResult, run_search
+from .islands import IslandGGA, MigrationBus, island_params, island_seed
 from .grouping import (
     NOMINAL_BLOCK,
     FusionProblem,
@@ -28,6 +29,11 @@ from .objective import (
     projected_gflops,
     projected_time_s,
     register_objective,
+    spearman_rank_correlation,
+    surrogate_score,
+    surrogate_scorer,
+    SurrogateScorer,
+    SurrogateVariant,
 )
 from .parallel import (
     PopulationEvaluator,
@@ -53,9 +59,11 @@ __all__ = [
     "FusionProblem", "NodeInfo", "Grouping", "Violations",
     "evaluate_violations", "singleton_grouping", "NOMINAL_BLOCK",
     "GGA", "run_search", "SearchResult", "GenerationStats",
+    "IslandGGA", "MigrationBus", "island_params", "island_seed",
     "projected_gflops", "projected_time_s", "group_volume",
     "group_projection_time", "register_objective", "get_objective",
-    "evaluate_individual",
+    "evaluate_individual", "surrogate_score", "spearman_rank_correlation",
+    "surrogate_scorer", "SurrogateScorer", "SurrogateVariant",
     "GAParams", "default_params", "fast_params",
     "PenaltyParams", "penalized_fitness",
     "build_problem", "BuiltProblem", "CodegenBinding",

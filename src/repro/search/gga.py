@@ -9,7 +9,9 @@ generation of convergence (used for the filtering experiment, Fig. 8).
 
 from __future__ import annotations
 
+import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -29,7 +31,13 @@ from .grouping import (
     Violations,
     singleton_grouping,
 )
-from .objective import get_objective, projected_time_s
+from .objective import (
+    SurrogateVariant,
+    get_objective,
+    projected_time_s,
+    spearman_rank_correlation,
+    surrogate_scorer,
+)
 from .operators import (
     crossover,
     lazy_fission_repair,
@@ -68,6 +76,21 @@ class GenerationStats:
     worker_failures: int = 0
     eval_timeouts: int = 0
     fallback_evaluations: int = 0
+    #: which island produced this row (0 in single-population mode)
+    island: int = 0
+    #: offspring bred this generation (== admitted when the surrogate
+    #: pre-filter is off)
+    surrogate_candidates: int = 0
+    #: offspring admitted to exact evaluation by the surrogate ranking
+    surrogate_admitted: int = 0
+    #: Spearman correlation between surrogate and exact offspring ranks
+    #: (NaN when the pre-filter is off or the sample is degenerate)
+    surrogate_rank_correlation: float = float("nan")
+    #: wall-clock seconds since the search started, sampled at the end of
+    #: the generation (time-to-target-fitness measurements difference this)
+    elapsed_s: float = 0.0
+    #: migrants accepted into this island since the previous row
+    migrants_in: int = 0
 
 
 @dataclass
@@ -93,6 +116,22 @@ class SearchResult:
     #: the last generation's population (cross-run warm-start payload);
     #: empty when the result was reconstructed from the artifact store
     final_population: List[Grouping] = field(default_factory=list)
+    #: island subpopulations the search ran (1 = classic GGA)
+    islands: int = 1
+    #: migrant individuals accepted across all islands
+    migrations_received: int = 0
+    #: migration payloads dropped (fault injection / corrupt store entries)
+    migrations_dropped: int = 0
+    #: offspring the surrogate pre-filter kept away from exact evaluation
+    surrogate_skipped: int = 0
+    #: mean per-generation surrogate-vs-exact Spearman correlation
+    #: (NaN when the pre-filter never ran)
+    surrogate_rank_correlation: float = float("nan")
+    #: wall-clock seconds the search spent (0 for store-reconstructed results)
+    wall_time_s: float = 0.0
+    #: DemotionRecord-style notes from the migration bus (dropped payloads);
+    #: emitted as ``migration_note`` rows in search_telemetry.jsonl
+    migration_notes: List[dict] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -136,6 +175,9 @@ class GGA:
         ]
         self.objective = get_objective(self.params.objective)
         self.rng = random.Random(self.params.seed)
+        #: island index stamped on telemetry rows (set by the island driver)
+        self.island = 0
+        self._initialized = False
         if cache is None:
             if self.params.fitness_cache and cache_enabled_from_env():
                 cache = get_shared_cache()
@@ -185,12 +227,22 @@ class GGA:
         return population[best_idx]
 
     # -------------------------------------------------------------------- run
+    #
+    # The run is decomposed into initialize() / step() / finalize() so the
+    # island driver (repro.search.islands) can interleave generations of
+    # several GGA instances and inject migrants between epochs.  run() is
+    # the classic composition and is bit-identical to the pre-island code:
+    # the per-step body consumes the rng stream and calls the evaluator in
+    # exactly the original order when the surrogate pre-filter is off.
 
-    def run(self) -> SearchResult:
+    def initialize(self) -> None:
+        """Build generation 0 and reset the run-state trackers."""
         params = self.params
         if params.population < 2:
             raise SearchError("population must be at least 2")
-        mutation_rates = (
+        if not 0.0 < params.surrogate_topk <= 1.0:
+            raise SearchError("surrogate_topk must be in (0, 1]")
+        self._mutation_rates = (
             params.mutate_merge,
             params.mutate_split,
             params.mutate_move,
@@ -205,124 +257,288 @@ class GGA:
             if len(population) >= params.population:
                 break
             population.append(seed)
+        screened = 0
+        fill = params.population - len(population)
+        if (
+            fill > 0
+            and params.surrogate_topk < 1.0
+            and not self.seed_population
+        ):
+            # surrogate-screened cold start: oversample the random fill by
+            # 1/topk and keep the model's pick, so the pre-filter shapes
+            # generation 0 too (the plain path is untouched at topk=1)
+            scorer = self._scorer()
+            screened = math.ceil(fill / params.surrogate_topk)
+            candidates = [
+                random_grouping(self.problem, self.rng)
+                for _ in range(screened)
+            ]
+            scores = [scorer.score(c) for c in candidates]
+            order = sorted(range(screened), key=lambda i: (-scores[i], i))
+            population.extend(candidates[i] for i in sorted(order[:fill]))
         while len(population) < params.population:
             if self.seed_population:
                 base = self.seed_population[
                     len(population) % len(self.seed_population)
                 ]
                 population.append(
-                    mutate(self.problem, base, self.rng, mutation_rates)
+                    mutate(self.problem, base, self.rng, self._mutation_rates)
                 )
             else:
                 population.append(random_grouping(self.problem, self.rng))
+        self.population = population
+        self.history: List[GenerationStats] = []
+        self.best: Optional[Grouping] = None
+        self.best_fitness = float("-inf")
+        self.best_feasible: Optional[Grouping] = None
+        self.best_feasible_fitness = float("-inf")
+        self._stall = 0
+        self._generation = 0
+        self._start_time = time.perf_counter()
+        self._elites: List[Grouping] = []
+        self.migrants_received = 0
+        self._migrants_pending = 0
+        self._surrogate_candidates = screened
+        self._surrogate_admitted = min(screened, fill)
+        self._rank_correlations: List[float] = []
+        self._initialized = True
 
-        history: List[GenerationStats] = []
-        best: Optional[Grouping] = None
-        best_fitness = float("-inf")
-        best_feasible: Optional[Grouping] = None
-        best_feasible_fitness = float("-inf")
-        stall = 0
+    @property
+    def done(self) -> bool:
+        """True once the generation budget or the stall limit is exhausted."""
+        params = self.params
+        if self._generation >= params.generations:
+            return True
+        return bool(
+            params.stall_generations and self._stall >= params.stall_generations
+        )
 
-        registry = get_registry()
-        generations_run = 0
-        for generation in range(params.generations):
-            generations_run = generation + 1
-            with span(f"gga:gen:{generation}") as gen_span:
-                with span("eval", batch="population", size=len(population)):
-                    evaluated = self.evaluator.evaluate_many(population)
-                fitnesses = [f for f, _ in evaluated]
-                improved = False
-                feasible_count = 0
-                penalty_activations = 0
-                for ind, (fitness, violations) in zip(population, evaluated):
-                    if fitness > best_fitness:
-                        best, best_fitness = ind, fitness
-                    if violations.feasible:
-                        feasible_count += 1
-                        if fitness > best_feasible_fitness:
-                            best_feasible, best_feasible_fitness = ind, fitness
-                            improved = True
-                    else:
-                        penalty_activations += 1
-                stall = 0 if improved else stall + 1
+    def top_individuals(self, count: int) -> List[Grouping]:
+        """The best ``count`` individuals of the last evaluated generation
+        (fitness-ranked; the migration payload an island emits)."""
+        return list(self._elites[:count])
 
-                fissions_this_gen = 0
-                # next generation
-                ranked = sorted(
-                    range(len(population)), key=lambda i: fitnesses[i], reverse=True
-                )
-                next_pop: List[Grouping] = [
-                    population[i] for i in ranked[: params.elitism]
-                ]
-                # breed the full offspring batch first (sequential: consumes the
-                # rng stream), then evaluate it in one parallel, memoized sweep;
-                # lazy fission repairs fire on the offspring stuck at the
-                # shared-memory boundary
-                offspring: List[Grouping] = []
-                while len(next_pop) + len(offspring) < params.population:
-                    parent_a = self._tournament(population, fitnesses)
-                    if self.rng.random() < params.crossover_rate:
-                        parent_b = self._tournament(population, fitnesses)
-                        child = crossover(self.problem, parent_a, parent_b, self.rng)
-                    else:
-                        child = parent_a
-                    child = mutate(self.problem, child, self.rng, mutation_rates)
-                    offspring.append(child)
-                with span("eval", batch="offspring", size=len(offspring)):
-                    child_results = self.evaluator.evaluate_many(offspring)
-                for child, (_, violations) in zip(offspring, child_results):
-                    if not violations.feasible:
-                        penalty_activations += 1
-                    if violations.smem_over > 0:
-                        child, fissions = lazy_fission_repair(
-                            self.problem, child, self.rng
-                        )
-                        fissions_this_gen += fissions
-                    next_pop.append(child)
+    def receive_migrants(self, migrants: Sequence[Grouping]) -> int:
+        """Replace the tail of the current population with ``migrants``.
 
-                mean_fitness = sum(fitnesses) / len(fitnesses)
-                std_fitness = (
-                    sum((f - mean_fitness) ** 2 for f in fitnesses) / len(fitnesses)
-                ) ** 0.5
-                history.append(
-                    GenerationStats(
-                        generation=generation,
-                        best_fitness=best_fitness,
-                        best_feasible_fitness=(
-                            best_feasible_fitness
-                            if best_feasible is not None
-                            else float("nan")
-                        ),
-                        mean_fitness=mean_fitness,
-                        fissions=fissions_this_gen,
-                        feasible_count=feasible_count,
-                        std_fitness=std_fitness,
-                        penalty_activations=penalty_activations,
-                        cache_hits=self.evaluator.cache_hits,
-                        cache_lookups=self.evaluator.lookups,
-                        evaluations=self.evaluator.evaluations,
-                        worker_failures=self.evaluator.worker_failures,
-                        eval_timeouts=self.evaluator.timeouts,
-                        fallback_evaluations=self.evaluator.fallback_evaluations,
-                    )
-                )
-                registry.inc("gga_generations_total")
-                registry.inc("gga_penalty_activations_total", penalty_activations)
-                registry.inc("gga_fissions_total", fissions_this_gen)
-                registry.set_gauge("gga_best_fitness", best_fitness)
-                gen_span.set(
-                    best=best_fitness,
-                    feasible=feasible_count,
-                    penalties=penalty_activations,
-                )
-            population = next_pop
-            if params.stall_generations and stall >= params.stall_generations:
+        The tail holds the most recently bred offspring — the individuals
+        with the least selection pressure behind them — so replacement is
+        deterministic without re-evaluating the population.  Migrants
+        already present (by value) or not covering the problem are
+        skipped.  Returns the number accepted.
+        """
+        accepted = 0
+        current = set(self.population)
+        for migrant in migrants:
+            if migrant in current or not migrant.covers(self.problem):
+                continue
+            slot = len(self.population) - 1 - accepted
+            if slot < self.params.elitism:
                 break
+            self.population[slot] = migrant
+            current.add(migrant)
+            accepted += 1
+        self.migrants_received += accepted
+        self._migrants_pending += accepted
+        return accepted
 
+    def _scorer(self):
+        """The surrogate scorer, created on first use (shares the
+        compiled evaluator's per-group memos with exact evaluation)."""
+        scorer = getattr(self, "_surrogate_scorer", None)
+        if scorer is None:
+            scorer = surrogate_scorer(
+                self.problem, self.device, self.objective,
+                self.params.penalties,
+            )
+            self._surrogate_scorer = scorer
+        return scorer
+
+    def _breed(self, fitnesses: List[float], count: int) -> List[Grouping]:
+        """Breed ``count`` offspring (sequential: consumes the rng stream)."""
+        params = self.params
+        offspring: List[Grouping] = []
+        while len(offspring) < count:
+            parent_a = self._tournament(self.population, fitnesses)
+            if self.rng.random() < params.crossover_rate:
+                parent_b = self._tournament(self.population, fitnesses)
+                child = crossover(self.problem, parent_a, parent_b, self.rng)
+            else:
+                child = parent_a
+            child = mutate(self.problem, child, self.rng, self._mutation_rates)
+            offspring.append(child)
+        return offspring
+
+    def step(self) -> None:
+        """Advance the search by one generation."""
+        params = self.params
+        population = self.population
+        generation = self._generation
+        registry = get_registry()
+        with span(f"gga:gen:{generation}") as gen_span:
+            with span("eval", batch="population", size=len(population)):
+                evaluated = self.evaluator.evaluate_many(population)
+            fitnesses = [f for f, _ in evaluated]
+            improved = False
+            feasible_count = 0
+            penalty_activations = 0
+            for ind, (fitness, violations) in zip(population, evaluated):
+                if fitness > self.best_fitness:
+                    self.best, self.best_fitness = ind, fitness
+                if violations.feasible:
+                    feasible_count += 1
+                    if fitness > self.best_feasible_fitness:
+                        self.best_feasible = ind
+                        self.best_feasible_fitness = fitness
+                        improved = True
+                else:
+                    penalty_activations += 1
+            self._stall = 0 if improved else self._stall + 1
+
+            fissions_this_gen = 0
+            # next generation
+            ranked = sorted(
+                range(len(population)), key=lambda i: fitnesses[i], reverse=True
+            )
+            self._elites = [population[i] for i in ranked]
+            next_pop: List[Grouping] = [
+                population[i] for i in ranked[: params.elitism]
+            ]
+            # breed the full offspring batch first (sequential: consumes the
+            # rng stream), then evaluate it in one parallel, memoized sweep;
+            # lazy fission repairs fire on the offspring stuck at the
+            # shared-memory boundary.  With surrogate_topk < 1 the batch is
+            # oversampled by 1/topk and ranked by the analytic-model-only
+            # surrogate; only the top slice reaches exact evaluation.
+            needed = params.population - len(next_pop)
+            surrogate_corr = float("nan")
+            if params.surrogate_topk < 1.0 and needed > 0:
+                scorer = self._scorer()
+                bred = self._breed(fitnesses, needed)
+                if scorer.supports_variants:
+                    # each bred child seeds a model-scored neighbourhood:
+                    # single merge/split/move edits priced as deltas
+                    # against the parent's per-group terms, materialized
+                    # only on admission
+                    extra_per = max(
+                        0, math.ceil(1.0 / params.surrogate_topk) - 1
+                    )
+                    pool: List[object] = []
+                    scores: List[float] = []
+                    for child in bred:
+                        parts = scorer.components(child)
+                        pool.append(child)
+                        scores.append(scorer.score_from(parts))
+                        for variant in scorer.variants(
+                            child, parts, self.rng, extra_per
+                        ):
+                            pool.append(variant)
+                            scores.append(variant.score)
+                else:
+                    # custom objective / compile off: oversampled breeding
+                    # ranked by the plain surrogate score
+                    extra = max(
+                        0,
+                        math.ceil(needed / params.surrogate_topk) - needed,
+                    )
+                    pool = bred + self._breed(fitnesses, extra)
+                    scores = [scorer.score(child) for child in pool]
+                gen_candidates = len(pool)
+                order = sorted(
+                    range(gen_candidates), key=lambda i: (-scores[i], i)
+                )
+                admitted = sorted(order[:needed])
+                offspring = [
+                    entry.materialize()
+                    if isinstance(entry, SurrogateVariant)
+                    else entry
+                    for entry in (pool[i] for i in admitted)
+                ]
+                admitted_scores = [scores[i] for i in admitted]
+                registry.inc("surrogate_candidates_total", gen_candidates)
+                registry.inc("surrogate_admitted_total", len(offspring))
+            else:
+                gen_candidates = needed
+                offspring = self._breed(fitnesses, needed)
+                admitted_scores = []
+            self._surrogate_candidates += gen_candidates
+            self._surrogate_admitted += len(offspring)
+            with span("eval", batch="offspring", size=len(offspring)):
+                child_results = self.evaluator.evaluate_many(offspring)
+            if admitted_scores:
+                corr = spearman_rank_correlation(
+                    admitted_scores, [f for f, _ in child_results]
+                )
+                if corr is not None:
+                    surrogate_corr = corr
+                    self._rank_correlations.append(corr)
+            for child, (_, violations) in zip(offspring, child_results):
+                if not violations.feasible:
+                    penalty_activations += 1
+                if violations.smem_over > 0:
+                    child, fissions = lazy_fission_repair(
+                        self.problem, child, self.rng
+                    )
+                    fissions_this_gen += fissions
+                next_pop.append(child)
+
+            mean_fitness = sum(fitnesses) / len(fitnesses)
+            std_fitness = (
+                sum((f - mean_fitness) ** 2 for f in fitnesses) / len(fitnesses)
+            ) ** 0.5
+            self.history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=self.best_fitness,
+                    best_feasible_fitness=(
+                        self.best_feasible_fitness
+                        if self.best_feasible is not None
+                        else float("nan")
+                    ),
+                    mean_fitness=mean_fitness,
+                    fissions=fissions_this_gen,
+                    feasible_count=feasible_count,
+                    std_fitness=std_fitness,
+                    penalty_activations=penalty_activations,
+                    cache_hits=self.evaluator.cache_hits,
+                    cache_lookups=self.evaluator.lookups,
+                    evaluations=self.evaluator.evaluations,
+                    worker_failures=self.evaluator.worker_failures,
+                    eval_timeouts=self.evaluator.timeouts,
+                    fallback_evaluations=self.evaluator.fallback_evaluations,
+                    island=self.island,
+                    surrogate_candidates=gen_candidates,
+                    surrogate_admitted=len(offspring),
+                    surrogate_rank_correlation=surrogate_corr,
+                    elapsed_s=time.perf_counter() - self._start_time,
+                    migrants_in=self._migrants_pending,
+                )
+            )
+            self._migrants_pending = 0
+            registry.inc("gga_generations_total")
+            registry.inc("gga_penalty_activations_total", penalty_activations)
+            registry.inc("gga_fissions_total", fissions_this_gen)
+            registry.set_gauge("gga_best_fitness", self.best_fitness)
+            gen_span.set(
+                best=self.best_fitness,
+                feasible=feasible_count,
+                penalties=penalty_activations,
+            )
+        self.population = next_pop
+        self._generation = generation + 1
+
+    def finalize(self) -> SearchResult:
+        """Close the evaluator and package the run into a SearchResult."""
+        best_feasible = self.best_feasible
+        best_feasible_fitness = self.best_feasible_fitness
         if best_feasible is None:
-            best_feasible = self._repair_to_feasible(best or population[0])
+            best_feasible = self._repair_to_feasible(
+                self.best or self.population[0]
+            )
             best_feasible_fitness, _ = self.evaluate(best_feasible)
 
+        history = self.history
+        generations_run = self._generation
         converged_at = generations_run - 1
         if history:
             final = best_feasible_fitness
@@ -334,6 +550,7 @@ class GGA:
                     converged_at = stats.generation
                     break
         total_fissions = sum(s.fissions for s in history)
+        correlations = self._rank_correlations
         self.evaluator.close()
         return SearchResult(
             best=best_feasible,
@@ -350,8 +567,24 @@ class GGA:
             evaluations=self.evaluations,
             cache_hits=self.evaluator.cache_hits,
             fitness_lookups=self.evaluator.lookups,
-            final_population=list(population),
+            final_population=list(self.population),
+            migrations_received=self.migrants_received,
+            surrogate_skipped=(
+                self._surrogate_candidates - self._surrogate_admitted
+            ),
+            surrogate_rank_correlation=(
+                sum(correlations) / len(correlations)
+                if correlations
+                else float("nan")
+            ),
+            wall_time_s=time.perf_counter() - self._start_time,
         )
+
+    def run(self) -> SearchResult:
+        self.initialize()
+        while not self.done:
+            self.step()
+        return self.finalize()
 
     def _repair_to_feasible(self, individual: Grouping) -> Grouping:
         """Break infeasible groups into singletons until feasible."""
@@ -388,9 +621,20 @@ def run_search(
     device: DeviceSpec,
     params: Optional[GAParams] = None,
     seed_population: Optional[Sequence[Grouping]] = None,
+    store=None,
 ) -> SearchResult:
     """Convenience wrapper: construct and run the GGA.
 
     ``seed_population`` warm-starts generation 0 (see :class:`GGA`).
+    ``params.islands > 1`` routes to the island-model driver
+    (:class:`repro.search.islands.IslandGGA`); ``store`` then mediates
+    cross-run elite migration and is ignored in single-population mode.
     """
+    params = params or GAParams()
+    if params.islands > 1:
+        from .islands import IslandGGA
+
+        return IslandGGA(
+            problem, device, params, seed_population=seed_population, store=store
+        ).run()
     return GGA(problem, device, params, seed_population=seed_population).run()

@@ -15,7 +15,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..analysis.volume import LaunchVolume
 from ..errors import SearchError
@@ -427,6 +437,338 @@ def compiled_fitness(
 def clear_compiled_fitness(problem: FusionProblem) -> None:
     """Drop the per-problem compiled evaluators (tests / benchmarks)."""
     problem.__dict__.pop("_compiled_fitness", None)
+
+
+# --------------------------------------------------------------- surrogate
+
+
+def surrogate_score(
+    problem: FusionProblem,
+    individual: Grouping,
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> float:
+    """Analytic-model-only candidate score for surrogate pre-filtering.
+
+    The raw objective value — the projection-model sum, served from the
+    per-group memo — penalized by the *statically memoized* per-group
+    flags (fusability, realizability, shared-memory pressure).  What the
+    exact evaluator computes on top, and this deliberately skips, is all
+    split-dependent work: OEG edge walks, per-group convexity and the
+    Tarjan cycle check.  The score is therefore a cheap, *optimistic*
+    stand-in for the exact fitness — it can still overrank non-convex or
+    cyclic candidates, which is why the GGA admits a top slice for exact
+    evaluation rather than trusting the ranking outright.
+    """
+    evaluator = compiled_fitness(problem, device, objective, penalties)
+    if fitness_compile_enabled():
+        raw = evaluator._objective_value(individual)
+    else:
+        raw = objective(problem, individual, device)
+    violations = Violations()
+    for group in individual.groups:
+        if len(group) <= 1:
+            continue
+        unfusable, unrealizable, smem_over, relax_possible = (
+            evaluator._group_flags(group)
+        )
+        if unfusable:
+            violations.unfusable += 1
+        if unrealizable:
+            violations.unrealizable += 1
+        if smem_over:
+            violations.smem_over += 1
+            if relax_possible:
+                violations.relaxable += 1
+    return penalized_fitness(raw, violations, penalties)
+
+
+class SurrogateVariant:
+    """A model-scored single-edit neighbour of a bred offspring.
+
+    The edit is held as a descriptor — the parent grouping, the indices
+    of the groups the edit removes and the groups it adds — so the
+    surrogate score can be computed incrementally from the per-group
+    memos without ever constructing the child.  Only variants admitted
+    by the ranking pay :func:`~repro.search.operators.make_grouping`.
+    """
+
+    __slots__ = ("score", "parent", "_drop", "_add")
+
+    def __init__(
+        self,
+        score: float,
+        parent: Grouping,
+        drop: Tuple[int, ...],
+        add: Tuple[FrozenSet[str], ...],
+    ) -> None:
+        self.score = score
+        self.parent = parent
+        self._drop = drop
+        self._add = add
+
+    def materialize(self) -> Grouping:
+        from .operators import make_grouping
+
+        dropped = set(self._drop)
+        groups = [
+            g for i, g in enumerate(self.parent.groups) if i not in dropped
+        ]
+        groups.extend(g for g in self._add if g)
+        return make_grouping(set(self.parent.split), groups)
+
+
+class SurrogateScorer:
+    """Batch surrogate scoring plus cheap model-guided neighbourhoods.
+
+    Wraps the per-problem :class:`CompiledFitness` so the per-group
+    projection-time and static-flag memos are shared with exact
+    evaluation: scoring a candidate pre-pays the memo fills its exact
+    evaluation would do anyway.  On top of plain scoring it generates
+    *variants* — single merge/split/move edits of a bred offspring whose
+    scores are computed as deltas against the parent's per-group terms,
+    two dictionary lookups per edit instead of a full rescan.
+
+    Incremental mode needs the additive default objective
+    (:func:`projected_gflops`) and the compiled evaluator; for custom
+    objectives or ``REPRO_FITNESS_COMPILE=0`` the scorer still scores
+    (via :func:`surrogate_score`) but generates no variants, and the GGA
+    falls back to oversampled breeding.
+    """
+
+    def __init__(
+        self,
+        problem: FusionProblem,
+        device: DeviceSpec,
+        objective: ObjectiveFn,
+        penalties: PenaltyParams,
+    ) -> None:
+        self.problem = problem
+        self.device = device
+        self.objective = objective
+        self.penalties = penalties
+        self.evaluator = compiled_fitness(problem, device, objective, penalties)
+        self._components: Dict[Grouping, Tuple[float, float, Violations]] = {}
+
+    @property
+    def supports_variants(self) -> bool:
+        return self.objective is projected_gflops and fitness_compile_enabled()
+
+    def score(self, individual: Grouping) -> float:
+        return surrogate_score(
+            self.problem, individual, self.device, self.objective,
+            self.penalties,
+        )
+
+    _NO_FLAGS = (False, False, False, False)
+
+    def _group_terms(
+        self, group: FrozenSet[str]
+    ) -> Tuple[float, float, Tuple[bool, bool, bool, bool]]:
+        """(projected time, flops, static flags) for one group, memoized."""
+        evaluator = self.evaluator
+        pair = evaluator._group_obj.get(group)
+        if pair is None:
+            pair = (
+                group_projection_time(self.problem, group, self.device),
+                sum(self.problem.info(m).flops for m in group),
+            )
+            evaluator._group_obj[group] = pair
+        if len(group) <= 1:
+            return pair[0], pair[1], self._NO_FLAGS
+        return pair[0], pair[1], evaluator._group_flags(group)
+
+    def components(
+        self, individual: Grouping
+    ) -> Tuple[float, float, Violations]:
+        """Total (time, flops, static violations) — the delta baseline.
+
+        Memoized per grouping: offspring that duplicate a parent (no-op
+        mutation, crossover echoes) and individuals re-scored across
+        generations skip the full per-group rescan.
+        """
+        hit = self._components.get(individual)
+        if hit is not None:
+            return hit[0], hit[1], replace(hit[2])
+        total_time = 0.0
+        total_flops = 0.0
+        violations = Violations()
+        for group in individual.groups:
+            g_time, g_flops, flags = self._group_terms(group)
+            total_time += g_time
+            total_flops += g_flops
+            self._apply_flags(violations, flags, +1)
+        if len(self._components) > 16384:
+            self._components.clear()
+        self._components[individual] = (
+            total_time, total_flops, replace(violations),
+        )
+        return total_time, total_flops, violations
+
+    @staticmethod
+    def _apply_flags(violations: Violations, flags, sign: int) -> None:
+        unfusable, unrealizable, smem_over, relax_possible = flags
+        if unfusable:
+            violations.unfusable += sign
+        if unrealizable:
+            violations.unrealizable += sign
+        if smem_over:
+            violations.smem_over += sign
+            if relax_possible:
+                violations.relaxable += sign
+
+    def score_from(
+        self, components: Tuple[float, float, Violations]
+    ) -> float:
+        total_time, total_flops, violations = components
+        raw = (
+            total_flops / total_time / 1e9 if total_time > 0 else 0.0
+        )
+        return penalized_fitness(raw, violations, self.penalties)
+
+    def variants(
+        self,
+        individual: Grouping,
+        components: Tuple[float, float, Violations],
+        rng,
+        count: int,
+    ) -> List[SurrogateVariant]:
+        """Up to ``count`` single-edit neighbours, scored incrementally.
+
+        Edits mirror the mutation operators' moves (merge two fusable
+        groups, split a fused group, move one member out of a fused
+        group) but are chosen blind and ranked by the model — the
+        surrogate does the selection the operators' heuristics would
+        otherwise approximate.
+        """
+        problem = self.problem
+        groups = individual.groups
+        infos = problem.infos
+        fusable = [
+            i
+            for i, group in enumerate(groups)
+            if all(infos[m].eligible and infos[m].fusable for m in group)
+        ]
+        fused = [i for i, g in enumerate(groups) if len(g) > 1]
+        base_time, base_flops, base_viol = components
+        out: List[SurrogateVariant] = []
+        for _ in range(count):
+            ops = []
+            if len(fusable) >= 2:
+                ops.append("merge")
+            if fused:
+                ops.append("split")
+                ops.append("move")
+            if not ops:
+                break
+            op = ops[rng.randrange(len(ops))]
+            if op == "merge":
+                i, j = rng.sample(fusable, 2)
+                drop = (i, j)
+                add = (groups[i] | groups[j],)
+            elif op == "split":
+                target = fused[rng.randrange(len(fused))]
+                members = sorted(groups[target])
+                rng.shuffle(members)
+                cut = rng.randint(1, len(members) - 1)
+                drop = (target,)
+                add = (frozenset(members[:cut]), frozenset(members[cut:]))
+            else:  # move
+                source = fused[rng.randrange(len(fused))]
+                node = sorted(groups[source])[
+                    rng.randrange(len(groups[source]))
+                ]
+                rest = groups[source] - {node}
+                if (
+                    infos[node].fusable
+                    and rng.random() < 0.6
+                ):
+                    destinations = [i for i in fusable if i != source]
+                    if destinations:
+                        dest = destinations[
+                            rng.randrange(len(destinations))
+                        ]
+                        drop = (source, dest)
+                        add = (rest, groups[dest] | {node})
+                    else:
+                        drop = (source,)
+                        add = (rest, frozenset({node}))
+                else:
+                    drop = (source,)
+                    add = (rest, frozenset({node}))
+            d_time, d_flops = 0.0, 0.0
+            violations = replace(base_viol)
+            for index in drop:
+                g_time, g_flops, flags = self._group_terms(groups[index])
+                d_time -= g_time
+                d_flops -= g_flops
+                self._apply_flags(violations, flags, -1)
+            for group in add:
+                if not group:
+                    continue
+                g_time, g_flops, flags = self._group_terms(group)
+                d_time += g_time
+                d_flops += g_flops
+                self._apply_flags(violations, flags, +1)
+            total_time = base_time + d_time
+            total_flops = base_flops + d_flops
+            raw = (
+                total_flops / total_time / 1e9 if total_time > 0 else 0.0
+            )
+            score = penalized_fitness(raw, violations, self.penalties)
+            out.append(SurrogateVariant(score, individual, drop, add))
+        return out
+
+
+def surrogate_scorer(
+    problem: FusionProblem,
+    device: DeviceSpec,
+    objective: ObjectiveFn,
+    penalties: PenaltyParams,
+) -> SurrogateScorer:
+    """A :class:`SurrogateScorer` sharing the compiled evaluator's memos."""
+    return SurrogateScorer(problem, device, objective, penalties)
+
+
+def _rank_with_ties(values) -> List[float]:
+    """Fractional ranks (1-based, ties averaged) of ``values``."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = rank
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(xs, ys) -> Optional[float]:
+    """Spearman's rho between two paired samples (ties averaged).
+
+    Returns ``None`` when the correlation is undefined: fewer than two
+    pairs, or either sample constant.  Used to audit the surrogate
+    pre-filter — rho near 1 means the analytic-only ranking agrees with
+    the exact penalized fitness on the admitted offspring.
+    """
+    if len(xs) != len(ys):
+        raise SearchError("rank correlation needs paired samples")
+    n = len(xs)
+    if n < 2:
+        return None
+    rx = _rank_with_ties(list(xs))
+    ry = _rank_with_ties(list(ys))
+    mean = (n + 1) / 2.0
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var_x = sum((a - mean) ** 2 for a in rx)
+    var_y = sum((b - mean) ** 2 for b in ry)
+    if var_x <= 0 or var_y <= 0:
+        return None
+    return cov / (var_x * var_y) ** 0.5
 
 
 def evaluate_individual_reference(

@@ -45,6 +45,17 @@ class GAParams:
     workers: int = 0
     #: 'thread' or 'process' (see repro.search.parallel)
     executor: str = "thread"
+    #: concurrent island subpopulations (1 = the classic single-population
+    #: GGA; >1 enables repro.search.islands with periodic elite migration)
+    islands: int = 1
+    #: generations between elite exchanges when ``islands > 1``
+    migration_interval: int = 5
+    #: elites each island emits per migration epoch
+    migration_size: int = 2
+    #: fraction of bred offspring admitted to exact fitness evaluation
+    #: after the analytic-model-only surrogate ranking pass (1.0 disables
+    #: the pre-filter and is bit-identical to the classic GGA)
+    surrogate_topk: float = 1.0
     penalties: PenaltyParams = field(default_factory=PenaltyParams)
 
     def write(self, path: Union[str, Path]) -> None:
