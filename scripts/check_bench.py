@@ -63,6 +63,26 @@ EXACT = {
         "curve.k4.cold.generation_at_target",
         "curve.k4.cold.evaluations_at_target",
     ),
+    "service": (
+        "schema",
+        "bench",
+        "protocol",
+        # dedup and reuse accounting is deterministic serving semantics,
+        # not timing: 8 identical in-flight clients -> 1 execution
+        "cold.requests",
+        "cold.all_reused",
+        "warm.requests",
+        "warm.all_reused",
+        "warm.speedups_match_cold",
+        "dedup.clients",
+        "dedup.executions",
+        "dedup.dedup_hits",
+        "dedup.bodies_identical",
+        "dedup.dedup_flags_all_hit",
+        "dedup.ledger_dedup_clients",
+        "headline.worker_restarts",
+        "headline.ledger_service_records",
+    ),
 }
 
 #: per-bench (dotted path, minimum value) acceptance floors
@@ -86,6 +106,13 @@ FLOORS = {
         # warm hydration re-reaches the target almost immediately
         ("curve.k4.warm.migrations_received", 1),
     ),
+    "service": (
+        # warm (store-served) requests must be cheaper to serve than
+        # cold ones even with serving overhead on a noisy runner
+        ("headline.warm_speedup_vs_cold", 1.0),
+        ("protocol.concurrent_clients", 4),
+        ("protocol.workers", 4),
+    ),
 }
 
 #: per-bench dotted paths of timing-derived values gated by --tolerance
@@ -105,10 +132,19 @@ RATIOS = {
         "headline.k4_cold_generation_speedup",
         "headline.k4_cold_evaluation_speedup",
     ),
+    "service": (
+        "cold.requests_per_sec",
+        "warm.requests_per_sec",
+        "headline.sustained_requests_per_sec",
+    ),
 }
 
 #: warm island runs must cross the target within this many generations
 WARM_GENERATION_CEILING = 10
+
+#: every warm (store-served) service request must finish within this
+#: many seconds of wall time — the ISSUE acceptance bar
+SERVICE_WARM_LATENCY_CEILING_S = 1.0
 
 
 def lookup(record: dict, path: str):
@@ -161,6 +197,13 @@ def check(baseline: dict, current: dict, tolerance: float) -> list:
                     f"warm hydration broken at {path}: {got!r} "
                     f"(ceiling {WARM_GENERATION_CEILING})"
                 )
+    if bench == "service":
+        got = lookup(current, "warm.max_latency_s")
+        if got is None or got > SERVICE_WARM_LATENCY_CEILING_S:
+            problems.append(
+                f"warm serving too slow at warm.max_latency_s: {got!r} "
+                f"(ceiling {SERVICE_WARM_LATENCY_CEILING_S}s)"
+            )
     return problems
 
 

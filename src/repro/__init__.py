@@ -15,16 +15,26 @@ Top-level convenience re-exports; see the subpackages for the full API:
 - :mod:`repro.api`       — the stable entry point (transform / TransformConfig)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .api import (
     EnvKnobDeprecationWarning,
+    JobHandle,
     TransformConfig,
     TransformResult,
+    result,
+    status,
+    submit,
     transform,
 )
 from .cudalite import parse_program, unparse
-from .errors import ConfigError, PipelineError, ReproError, StoreError
+from .errors import (
+    ConfigError,
+    PipelineError,
+    ReproError,
+    ServiceError,
+    StoreError,
+)
 from .gpu.device import K20X, K40, query_device
 from .pipeline import Framework, PipelineConfig, transform_program
 from .store import ArtifactStore, default_store_root, open_store
@@ -35,10 +45,16 @@ __all__ = [
     "TransformConfig",
     "TransformResult",
     "EnvKnobDeprecationWarning",
+    # job-oriented core (repro.api)
+    "JobHandle",
+    "submit",
+    "status",
+    "result",
     # errors
     "ReproError",
     "ConfigError",
     "PipelineError",
+    "ServiceError",
     "StoreError",
     # persistent store
     "ArtifactStore",

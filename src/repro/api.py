@@ -20,14 +20,30 @@ concrete configuration (recorded verbatim in ``run.json``).  Setting a
 legacy knob through the environment still works but emits an
 :class:`EnvKnobDeprecationWarning` pointing at the config field that
 replaces it.
+
+Underneath :func:`transform` sits a job-oriented core::
+
+    job = submit("Fluam", TransformConfig(device="K20X"))
+    print(job.status())           # 'pending' | 'running' | 'done' | 'failed'
+    result = job.result()         # blocks; re-raises the job's error
+
+:func:`submit` validates the request up front, computes its
+content-addressed ``key`` (the identity ``repro.service`` deduplicates
+on) and schedules the pipeline on this process's job-worker thread;
+:func:`status` and :func:`result` look jobs up by handle or id.
+:func:`transform` is the synchronous facade: ``submit(...,
+inline=True).result()``.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
+import threading
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
@@ -36,7 +52,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 from .cudalite import ast_nodes as ast
 from .cudalite.parser import parse_program
 from .cudalite.unparser import unparse
-from .errors import ConfigError, PipelineError, ReproError
+from .errors import ConfigError, JobNotFound, PipelineError, ReproError
 from .gpu.device import DeviceSpec, available_devices, query_device
 from .observability.metrics import get_registry
 from .observability.runinfo import build_run_manifest, write_run_manifest
@@ -54,8 +70,12 @@ from .store.artifact_store import (
 
 __all__ = [
     "EnvKnobDeprecationWarning",
+    "JobHandle",
     "TransformConfig",
     "TransformResult",
+    "result",
+    "status",
+    "submit",
     "transform",
 ]
 
@@ -724,22 +744,10 @@ def write_run_outputs(
         get_tracer().write(config.trace_out)
 
 
-def transform(
-    app_or_program: object,
-    config: Optional[TransformConfig] = None,
-    **overrides: Any,
-) -> TransformResult:
-    """Transform an application end-to-end and return the result.
-
-    ``app_or_program`` may be a parsed :class:`~repro.cudalite.ast_nodes.
-    Program`, a generated app (or its registry name, e.g. ``"Fluam"``), a
-    source file path, or CUDA(Lite) source text.  ``overrides`` are
-    :class:`TransformConfig` fields applied on top of ``config``.
-
-    Raises :class:`~repro.errors.ReproError` subclasses on failure; when
-    a working directory is configured, ``run.json`` is written on both
-    the success and the failure path.
-    """
+def _merge_overrides(
+    config: Optional[TransformConfig], overrides: Dict[str, Any]
+) -> TransformConfig:
+    """``config`` (or a default one) with ``overrides`` applied on top."""
     base = config or TransformConfig()
     if overrides:
         known = {f.name for f in fields(TransformConfig)}
@@ -749,15 +757,24 @@ def transform(
                 f"unknown config field(s): {', '.join(sorted(unknown))}"
             )
         base = replace(base, **overrides)
-    resolved = base.resolved()
+    return base
+
+
+def _execute_transform(
+    program: ast.Program, source_label: str, resolved: TransformConfig
+) -> TransformResult:
+    """Run one fully-resolved transformation end to end.
+
+    The shared execution body behind :func:`transform` and the job core:
+    env export, telemetry scope, store wiring, ``run.json`` and the run
+    ledger on both the success and the failure path.
+    """
     with resolved.applied_env(), telemetry(bool(resolved.telemetry)):
         store: Optional[ArtifactStore] = None
         if resolved.store:
             store = open_store(resolved.store_root)
         framework: Optional[Framework] = None
-        source_label = "<unknown>"
         try:
-            program, source_label = _coerce_program(app_or_program)
             framework = Framework(program, resolved.pipeline_config(store))
             state = framework.run(until=resolved.until)
         except ReproError as exc:
@@ -787,3 +804,256 @@ def transform(
             report=framework.report(),
             stage_times=dict(framework.stage_times),
         )
+
+
+# ---------------------------------------------------------------- job core
+
+#: lifecycle of a job, in order
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class JobHandle:
+    """One submitted transformation job.
+
+    Returned by :func:`submit`; thread-safe.  ``job_id`` is unique per
+    submission while ``key`` is the content-addressed request identity
+    (two submissions of the same program + semantic config share a
+    ``key`` but never a ``job_id``) — the same key the service layer
+    deduplicates on.
+    """
+
+    def __init__(self, job_id: str, key: str, source_label: str) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.source_label = source_label
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._status = "pending"
+        self._result: Optional[TransformResult] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------- state queries
+
+    def status(self) -> str:
+        """'pending' | 'running' | 'done' | 'failed'."""
+        with self._lock:
+            return self._status
+
+    def done(self) -> bool:
+        """Has the job reached a terminal state (done or failed)?"""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> TransformResult:
+        """Block until the job finishes; return or re-raise its outcome."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} still {self.status()!r} "
+                f"after {timeout} s"
+            )
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            assert self._result is not None
+            return self._result
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """The job's error, or None once it completed successfully."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} still {self.status()!r} "
+                f"after {timeout} s"
+            )
+        with self._lock:
+            return self._error
+
+    # -------------------------------------------------- state transitions
+
+    def _mark_running(self) -> None:
+        with self._lock:
+            self._status = "running"
+
+    def _finish(
+        self,
+        result: Optional[TransformResult],
+        error: Optional[BaseException],
+    ) -> None:
+        with self._lock:
+            self._result = result
+            self._error = error
+            self._status = "failed" if error is not None else "done"
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobHandle({self.job_id!r}, status={self.status()!r}, "
+            f"source={self.source_label!r})"
+        )
+
+
+#: submitted jobs by id, newest last; finished jobs are evicted beyond
+#: _JOB_HISTORY so a long-lived process cannot grow without bound
+_JOBS: "Dict[str, JobHandle]" = {}
+_JOB_HISTORY = 256
+_jobs_lock = threading.Lock()
+_job_seq = itertools.count(1)
+
+#: one transformation executes at a time in this process: the pipeline
+#: scopes configuration through os.environ (applied_env), which is
+#: process-global — concurrency comes from the service's worker
+#: *processes*, not from in-process threads
+_EXEC_LOCK = threading.Lock()
+
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_lock = threading.Lock()
+
+
+def _job_executor() -> ThreadPoolExecutor:
+    global _executor
+    with _executor_lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-job"
+            )
+        return _executor
+
+
+def request_key(program: ast.Program, resolved: TransformConfig) -> str:
+    """The content-addressed identity of one transformation request.
+
+    Digest of the program fingerprint and the *semantic* configuration
+    (output paths, store wiring and telemetry excluded) — the dedup key
+    of the service layer and the ``key`` on every :class:`JobHandle`.
+    """
+    from .observability.ledger import config_digest
+    from .store.keys import program_fingerprint, service_request_key
+
+    return service_request_key(
+        program_fingerprint(program), config_digest(resolved.to_dict())
+    )
+
+
+def _register_job(handle: JobHandle) -> None:
+    with _jobs_lock:
+        _JOBS[handle.job_id] = handle
+        if len(_JOBS) > _JOB_HISTORY:
+            for job_id in [
+                j for j, h in _JOBS.items() if h.done()
+            ][: len(_JOBS) - _JOB_HISTORY]:
+                del _JOBS[job_id]
+
+
+def _run_job(
+    handle: JobHandle, program: ast.Program, resolved: TransformConfig
+) -> None:
+    with _EXEC_LOCK:
+        handle._mark_running()
+        try:
+            result = _execute_transform(
+                program, handle.source_label, resolved
+            )
+        except BaseException as exc:  # noqa: BLE001 - stored, re-raised
+            handle._finish(None, exc)
+        else:
+            handle._finish(result, None)
+
+
+def submit(
+    app_or_program: object,
+    config: Optional[TransformConfig] = None,
+    *,
+    inline: bool = False,
+    **overrides: Any,
+) -> JobHandle:
+    """Submit a transformation job; returns immediately with its handle.
+
+    Input coercion, override validation and config resolution happen
+    here in the caller's thread (bad requests fail fast, deprecation
+    warnings surface at the call site); the pipeline itself runs on this
+    process's single job-worker thread.  With ``inline=True`` the job
+    executes to completion in the calling thread before ``submit``
+    returns — the path :func:`transform` uses.
+    """
+    base = _merge_overrides(config, overrides)
+    resolved = base.resolved()
+    try:
+        program, source_label = _coerce_program(app_or_program)
+    except ReproError as exc:
+        # unparseable input still leaves a machine-readable diagnostic,
+        # exactly as a failed pipeline stage would
+        with resolved.applied_env(), telemetry(bool(resolved.telemetry)):
+            store = open_store(resolved.store_root) if resolved.store else None
+            write_run_outputs(
+                resolved,
+                "<unknown>",
+                None,
+                store,
+                exit_code=2,
+                error={
+                    "type": type(exc).__name__,
+                    "stage": exc.stage,
+                    "message": str(exc),
+                },
+            )
+            _ledger_append(resolved, "<unknown>", None, store, exit_code=2)
+        raise
+    key = request_key(program, resolved)
+    handle = JobHandle(
+        job_id=f"{key[:16]}-{next(_job_seq)}",
+        key=key,
+        source_label=source_label,
+    )
+    _register_job(handle)
+    if inline:
+        _run_job(handle, program, resolved)
+    else:
+        _job_executor().submit(_run_job, handle, program, resolved)
+    return handle
+
+
+def _resolve_handle(job: "JobHandle | str") -> JobHandle:
+    if isinstance(job, JobHandle):
+        return job
+    with _jobs_lock:
+        handle = _JOBS.get(job)
+    if handle is None:
+        raise JobNotFound(f"unknown job id {job!r}")
+    return handle
+
+
+def status(job: "JobHandle | str") -> str:
+    """The state of a job (by handle or id): pending/running/done/failed."""
+    return _resolve_handle(job).status()
+
+
+def result(
+    job: "JobHandle | str", timeout: Optional[float] = None
+) -> TransformResult:
+    """Block until a job (by handle or id) finishes; return its result."""
+    return _resolve_handle(job).result(timeout)
+
+
+def transform(
+    app_or_program: object,
+    config: Optional[TransformConfig] = None,
+    **overrides: Any,
+) -> TransformResult:
+    """Transform an application end-to-end and return the result.
+
+    ``app_or_program`` may be a parsed :class:`~repro.cudalite.ast_nodes.
+    Program`, a generated app (or its registry name, e.g. ``"Fluam"``), a
+    source file path, or CUDA(Lite) source text.  ``overrides`` are
+    :class:`TransformConfig` fields applied on top of ``config``.
+
+    The synchronous facade over the job core: equivalent to
+    ``submit(..., inline=True).result()``, so the pipeline runs in the
+    calling thread and the call blocks until the job finishes.
+
+    Raises :class:`~repro.errors.ReproError` subclasses on failure; when
+    a working directory is configured, ``run.json`` is written on both
+    the success and the failure path.
+    """
+    return submit(
+        app_or_program, config, inline=True, **overrides
+    ).result()

@@ -145,3 +145,16 @@ class StoreError(ReproError):
 
 class ConfigError(ReproError):
     """A :class:`repro.api.TransformConfig` (or config file) is invalid."""
+
+
+class ServiceError(ReproError):
+    """The transformation service could not serve a request.
+
+    Raised for malformed ``repro.service/1`` wire payloads, for requests
+    the serving policy rejects (client-supplied output paths), and when a
+    job exhausts its worker-crash retry budget.
+    """
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id is known to this process/server."""

@@ -45,6 +45,7 @@ __all__ = [
     "RunLedger",
     "append_record",
     "build_fuzz_record",
+    "build_service_record",
     "build_transform_record",
     "config_digest",
 ]
@@ -162,6 +163,53 @@ def build_fuzz_record(report: Dict[str, object]) -> Dict[str, object]:
                 "crash_buckets": dict(summary.get("buckets", {})),
                 "oracle_failures": dict(sorted(oracle_failures.items())),
             },
+        }
+    )
+    return record
+
+
+def build_service_record(
+    *,
+    source: str,
+    config: Dict[str, object],
+    request_key: str,
+    job_id: str,
+    status: str,
+    dedup_clients: int = 1,
+    speedup: Optional[float] = None,
+    verified: Optional[bool] = None,
+    demotions: int = 0,
+    reused: Optional[Dict[str, str]] = None,
+    wall_time_s: Optional[float] = None,
+    worker_retries: int = 0,
+) -> Dict[str, object]:
+    """One ledger record per *served* transformation request.
+
+    The serving path appends one record per executed job (deduplicated
+    requests share one execution and hence one record, with
+    ``dedup_clients`` counting how many clients it answered), so service
+    traffic is queryable next to CLI transforms — same store, same
+    schema tag, ``kind == "service"``.
+    """
+    record = _base_record("service")
+    record.update(
+        {
+            "source": source,
+            "app": _app_of(source),
+            "config_digest": config_digest(config),
+            "exit_code": 0 if status == "ok" else 2,
+            "service": {
+                "request_key": request_key,
+                "job_id": job_id,
+                "status": status,
+                "dedup_clients": dedup_clients,
+                "worker_retries": worker_retries,
+                "wall_time_s": wall_time_s,
+            },
+            "speedup": speedup,
+            "verified": verified,
+            "demotions": demotions,
+            "reused_stages": dict(reused or {}),
         }
     )
     return record

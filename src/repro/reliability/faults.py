@@ -34,6 +34,11 @@ Seams
     Drops an elite-migration payload on delivery between GGA islands;
     the receiving island must continue solo and record a
     ``migration_note`` in the search telemetry.
+``service_worker``
+    Hard-kills a ``repro.service`` pool worker (``os._exit``) right
+    after it accepts a job — the serving pool must detect the dead
+    pipe, respawn the worker and retry the job within its bounded
+    retry budget.
 
 Configuration
 -------------
@@ -84,6 +89,7 @@ KNOWN_SEAMS = (
     "worker_crash",
     "worker_hang",
     "island_migration",
+    "service_worker",
 )
 
 #: backwards-compatible alias for :data:`KNOWN_SEAMS`
@@ -285,6 +291,19 @@ def poison_cache_value(seam: str = "fitness_cache") -> bool:
     _require_known(seam, "at a poison_cache_value() call site")
     plan = active_plan()
     return plan is not None and plan.should_fire(seam)
+
+
+def service_worker_fault() -> None:
+    """Hard-kill the current service pool worker if the seam fires.
+
+    Called by ``repro.service.worker`` between accepting a job and
+    running it — the point where a crash is hardest for the pool to
+    confuse with a clean result.  Only ever fires in a dedicated worker
+    subprocess, so ``os._exit`` is safe (and is the point: the parent
+    must see a dead pipe, not an exception)."""
+    plan = active_plan()
+    if plan is not None and plan.should_fire("service_worker"):
+        os._exit(23)
 
 
 def worker_fault(allow_exit: bool) -> None:

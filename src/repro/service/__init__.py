@@ -1,0 +1,41 @@
+"""repro.service — transformation-as-a-service over the job-oriented API.
+
+The serving layer turns :func:`repro.api.transform` into a multi-tenant
+network service:
+
+* :mod:`.schema` — the versioned ``repro.service/1`` wire format
+  (:class:`TransformRequest` / :class:`TransformResponse`);
+* :mod:`.protocol` — length-prefixed pickle frames between the server
+  and its workers;
+* :mod:`.worker` — the long-lived worker subprocess that actually runs
+  the pipeline;
+* :mod:`.pool` — the asyncio worker pool with crash detection, respawn
+  and bounded retry;
+* :mod:`.server` — the HTTP front: request validation, in-flight
+  deduplication on content-addressed keys, SSE stage progress, graceful
+  drain;
+* :mod:`.client` — a small synchronous client (tests, benchmarks, CI);
+* :mod:`.cli` — the ``repro-serve`` entry point.
+"""
+
+from .client import ServedResult, ServiceClient
+from .pool import WorkerPool
+from .schema import (
+    REJECTED_CONFIG_FIELDS,
+    SERVICE_SCHEMA,
+    TransformRequest,
+    TransformResponse,
+)
+from .server import TransformService, serve
+
+__all__ = [
+    "REJECTED_CONFIG_FIELDS",
+    "SERVICE_SCHEMA",
+    "ServedResult",
+    "ServiceClient",
+    "TransformRequest",
+    "TransformResponse",
+    "TransformService",
+    "WorkerPool",
+    "serve",
+]

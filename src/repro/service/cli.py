@@ -1,0 +1,108 @@
+"""``repro-serve`` — run the transformation service from the shell.
+
+::
+
+    repro-serve --port 8642 --workers 2 --store-root /tmp/store
+
+The server logs its bound address on startup and drains gracefully on
+SIGINT/SIGTERM: the listening socket closes first, in-flight jobs run
+to completion, then the worker pool is shut down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import signal
+import sys
+from typing import List, Optional
+
+from ..api import TransformConfig
+from ..errors import ReproError
+from .server import TransformService
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="serve repro transformations over HTTP "
+        "(deduplicating, multi-tenant, persistent worker pool)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port, 0 = ephemeral (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="worker-crash retries per job (default %(default)s)",
+    )
+    parser.add_argument(
+        "--store-root", default=None,
+        help="artifact store root shared by all workers "
+        "(default: the resolved REPRO_STORE root)",
+    )
+    parser.add_argument(
+        "--base-config", default=None, metavar="FILE",
+        help="JSON TransformConfig file used as the serving baseline "
+        "(requests override individual fields)",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    base = (
+        TransformConfig.from_file(args.base_config)
+        if args.base_config
+        else None
+    )
+    service = TransformService(
+        base,
+        store_root=args.store_root,
+        pool_size=args.workers,
+        max_retries=args.max_retries,
+    )
+    host, port = await service.start(args.host, args.port)
+    # scripts scrape this line to learn an ephemeral port
+    print(f"repro-serve: listening on http://{host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("repro-serve: draining and shutting down", flush=True)
+    await service.stop(drain=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    try:
+        return asyncio.run(_serve(args))
+    except ReproError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

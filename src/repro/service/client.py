@@ -1,0 +1,211 @@
+"""A small synchronous client for the transformation service.
+
+Tests, benchmarks and the CI smoke job all speak to ``repro-serve``
+through this module instead of hand-rolling ``http.client`` calls; the
+client owns header casing, schema round-trips and SSE parsing, so the
+wire format lives in exactly two files (here and :mod:`.schema`).
+
+Each call opens one connection (the server closes after every
+response); this keeps the client trivially thread-safe — the
+concurrency tests drive one ``ServiceClient`` from many threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..errors import ServiceError
+from .schema import TransformRequest, TransformResponse
+
+__all__ = ["ServedResult", "ServiceClient"]
+
+
+class ServedResult:
+    """One served response: parsed body + the per-request header channel."""
+
+    def __init__(
+        self, status: int, body: bytes, headers: Dict[str, str]
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = headers
+
+    @property
+    def dedup(self) -> bool:
+        return self.headers.get("x-repro-dedup") == "hit"
+
+    @property
+    def key(self) -> Optional[str]:
+        return self.headers.get("x-repro-key")
+
+    @property
+    def job_id(self) -> Optional[str]:
+        return self.headers.get("x-repro-job")
+
+    @property
+    def request_id(self) -> Optional[str]:
+        return self.headers.get("x-repro-request")
+
+    def response(self) -> TransformResponse:
+        """The body as a schema-validated :class:`TransformResponse`."""
+        return TransformResponse.from_json(self.body)
+
+    def json(self) -> Dict[str, Any]:
+        return json.loads(self.body)
+
+
+class ServiceClient:
+    """Synchronous HTTP client for one ``repro-serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> ServedResult:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            return ServedResult(response.status, payload, headers)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _build_request(
+        source: Optional[str],
+        app: Optional[str],
+        config: Optional[Dict[str, Any]],
+        request_id: Optional[str],
+    ) -> bytes:
+        return TransformRequest(
+            source=source, app=app, config=config, request_id=request_id
+        ).to_json().encode("utf-8")
+
+    # --------------------------------------------------------------- routes
+
+    def transform(
+        self,
+        *,
+        source: Optional[str] = None,
+        app: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> ServedResult:
+        """``POST /v1/transform`` — block until the job finishes."""
+        return self._request(
+            "POST",
+            "/v1/transform",
+            self._build_request(source, app, config, request_id),
+        )
+
+    def submit(
+        self,
+        *,
+        source: Optional[str] = None,
+        app: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> ServedResult:
+        """``POST /v1/jobs`` — returns a 202 with the job id and key."""
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            self._build_request(source, app, config, request_id),
+        )
+
+    def job(self, job_id: str) -> ServedResult:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> ServedResult:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.1
+    ) -> ServedResult:
+        """Poll ``/result`` until the job leaves the 202-pending state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            served = self.result(job_id)
+            if served.status != 202:
+                return served
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still pending after {timeout} s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """``GET /v1/jobs/{id}/events`` — yields ``(event, data)`` pairs.
+
+        The stream ends after the terminal ``done`` event.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    f"event stream for {job_id} refused: "
+                    f"{response.status} {response.read()!r}"
+                )
+            event: Optional[str] = None
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.decode("utf-8").rstrip("\n")
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: ") and event is not None:
+                    yield event, json.loads(line[len("data: "):])
+                    if event == "done":
+                        return
+                    event = None
+        finally:
+            conn.close()
+
+    def healthz(self) -> ServedResult:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> ServedResult:
+        return self._request("GET", "/v1/metrics")
+
+    def wait_ready(self, timeout: float = 60.0, poll_s: float = 0.1) -> None:
+        """Block until the server answers ``/v1/healthz`` with 200."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.healthz().status == 200:
+                    return
+            except (OSError, http.client.HTTPException):
+                pass
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"service at {self.host}:{self.port} not ready "
+                    f"after {timeout} s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,82 @@
+"""Length-prefixed pickle framing between the service and its workers.
+
+One frame is a 4-byte big-endian payload length followed by a pickled
+Python object.  The protocol is deliberately tiny: the pool and the
+worker are the same codebase on the same machine (the pool spawns the
+worker from this package), so pickle's trust model is acceptable and its
+coverage of the config/result dicts is exact.
+
+Frames flow over the worker's stdin/stdout pipes.  A clean EOF — or a
+short read mid-frame — raises :class:`EOFError`, which is the pool's
+crash-detection signal; anything else that arrives is a well-formed
+message dict with an ``op`` field:
+
+========== =========================================================
+op          direction and meaning
+========== =========================================================
+``ready``   worker → pool, once, after imports complete
+``run``     pool → worker: one job (request + resolved config)
+``progress`` worker → pool: stage-completion events mid-job
+``result``  worker → pool: the job's outcome envelope
+``shutdown`` pool → worker: drain and exit 0
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+from typing import Any, BinaryIO, Optional
+
+from ..errors import ServiceError
+
+__all__ = ["MAX_FRAME_BYTES", "recv_msg", "send_msg"]
+
+_HEADER = struct.Struct(">I")
+
+#: upper bound on one frame; a larger announced length means the stream
+#: is corrupt (a transformed program is a few hundred KB at most)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_msg(
+    stream: BinaryIO, obj: Any, lock: Optional[threading.Lock] = None
+) -> None:
+    """Write one frame; ``lock`` serializes writers sharing a stream."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    frame = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            stream.write(frame)
+            stream.flush()
+    else:
+        stream.write(frame)
+        stream.flush()
+
+
+def _read_exactly(stream: BinaryIO, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError(
+                f"stream closed {remaining} byte(s) short of a frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(stream: BinaryIO) -> Any:
+    """Read one frame; raises :class:`EOFError` on a closed stream."""
+    header = _read_exactly(stream, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            f"protocol bound (corrupt stream?)"
+        )
+    payload = _read_exactly(stream, length)
+    return pickle.loads(payload)

@@ -30,6 +30,7 @@ from .keys import (
     kernel_fingerprint,
     params_fingerprint,
     program_fingerprint,
+    service_request_key,
 )
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "open_store",
     "params_fingerprint",
     "program_fingerprint",
+    "service_request_key",
     "store_enabled_from_env",
 ]

@@ -179,6 +179,17 @@ def compiled_kernel_key(kernel_fp: str, lowering_version: int) -> str:
     return digest("compiled-kernel", kernel_fp, int(lowering_version))
 
 
+def service_request_key(program_fp: str, config_digest: str) -> str:
+    """Identity of one transformation request, as served by ``repro.service``.
+
+    Keyed on the program content and the *semantic* configuration digest
+    (output paths and store wiring excluded — see
+    :func:`repro.observability.ledger.config_digest`), so two clients
+    asking for the same transformation deduplicate regardless of where
+    each wants its artifacts written."""
+    return digest("service-request", program_fp, config_digest)
+
+
 def tuning_key(
     device_fp: str,
     block: Tuple[int, int, int],

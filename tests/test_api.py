@@ -314,3 +314,173 @@ def test_public_surface_exports():
         assert getattr(repro, name, None) is not None, name
     assert repro.transform is transform
     assert repro.TransformConfig is TransformConfig
+
+
+# ---------------------------------------------------------------- job core
+
+
+def test_submit_returns_a_completed_job(tmp_path):
+    from repro.api import result, status, submit
+
+    job = submit(
+        THREE_KERNEL_SRC,
+        TransformConfig(ga_params=small_params(), workdir=str(tmp_path)),
+    )
+    assert job.job_id.startswith(job.key[:16])
+    outcome = job.result(timeout=300)
+    assert isinstance(outcome, TransformResult)
+    assert outcome.speedup is not None
+    assert job.status() == "done"
+    assert job.done()
+    assert job.exception() is None
+    # lookups by id route through the registry
+    assert status(job.job_id) == "done"
+    assert result(job.job_id) is outcome
+
+
+def test_identical_submissions_share_a_key_not_a_job_id():
+    from repro.api import submit
+
+    config = TransformConfig(ga_params=small_params(), until="metadata")
+    first = submit(THREE_KERNEL_SRC, config, inline=True)
+    second = submit(THREE_KERNEL_SRC, config, inline=True)
+    assert first.key == second.key
+    assert first.job_id != second.job_id
+
+
+def test_semantic_config_changes_the_request_key():
+    from repro.api import submit
+
+    base = TransformConfig(ga_params=small_params(), until="metadata")
+    cold = submit(THREE_KERNEL_SRC, base, inline=True)
+    reseeded = submit(
+        THREE_KERNEL_SRC, base, inline=True, seed=999
+    )
+    assert cold.key != reseeded.key
+
+
+def test_output_paths_do_not_change_the_request_key(tmp_path):
+    from repro.api import submit
+
+    config = TransformConfig(ga_params=small_params(), until="metadata")
+    plain = submit(THREE_KERNEL_SRC, config, inline=True)
+    routed = submit(
+        THREE_KERNEL_SRC, config, inline=True, workdir=str(tmp_path)
+    )
+    assert plain.key == routed.key
+
+
+def test_unknown_job_id_raises():
+    from repro.api import status
+    from repro.errors import JobNotFound
+
+    with pytest.raises(JobNotFound):
+        status("no-such-job")
+
+
+def test_bad_input_fails_at_submit_time():
+    from repro.api import submit
+
+    with pytest.raises(ReproError):
+        submit("int main( {", TransformConfig())
+
+
+def test_failed_job_reports_and_reraises(monkeypatch):
+    import repro.api as api_module
+    from repro.api import submit
+    from repro.errors import PipelineError
+
+    class ExplodingFramework:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def run(self, until=None):
+            raise PipelineError("stage blew up")
+
+    monkeypatch.setattr(api_module, "Framework", ExplodingFramework)
+    job = submit(THREE_KERNEL_SRC, TransformConfig(), inline=True)
+    assert job.status() == "failed"
+    assert isinstance(job.exception(), ReproError)
+    with pytest.raises(ReproError):
+        job.result()
+
+
+def test_transform_is_the_submit_facade():
+    outcome = transform(
+        THREE_KERNEL_SRC,
+        TransformConfig(ga_params=small_params(), until="metadata"),
+    )
+    assert isinstance(outcome, TransformResult)
+
+
+# ------------------------------------------------- island knob round-trip
+
+
+ISLAND_KNOBS = {
+    "islands": ("REPRO_ISLANDS", 4),
+    "migration_interval": ("REPRO_ISLANDS_MIGRATION_INTERVAL", 2),
+    "migration_size": ("REPRO_ISLANDS_MIGRATION_SIZE", 3),
+    "surrogate_topk": ("REPRO_ISLANDS_SURROGATE_TOPK", 0.25),
+}
+
+
+def test_island_knobs_round_trip_through_the_environment():
+    config = TransformConfig(
+        **{field: value for field, (_env, value) in ISLAND_KNOBS.items()}
+    )
+    env = config.to_env()
+    for field, (env_name, value) in ISLAND_KNOBS.items():
+        assert env[env_name] == str(value), field
+    rebuilt = TransformConfig.from_env(environ=env)
+    for field, (_env, value) in ISLAND_KNOBS.items():
+        assert getattr(rebuilt, field) == value, field
+    resolved = TransformConfig().resolved(environ=env)
+    for field, (_env, value) in ISLAND_KNOBS.items():
+        assert getattr(resolved, field) == value, field
+
+
+def test_island_knobs_reach_the_resolved_ga_params():
+    config = TransformConfig(
+        ga_params=small_params(),
+        **{field: value for field, (_env, value) in ISLAND_KNOBS.items()},
+    )
+    params = config.resolved().resolved_ga_params()
+    assert params.islands == 4
+    assert params.migration_interval == 2
+    assert params.migration_size == 3
+    assert params.surrogate_topk == 0.25
+
+
+def test_island_knobs_survive_applied_env_into_a_subprocess():
+    """applied_env() must carry all four island knobs into spawned
+    workers: a child that re-resolves from its inherited environment
+    sees exactly the parent's values, none dropped."""
+    import subprocess
+    import sys
+
+    config = TransformConfig(
+        **{field: value for field, (_env, value) in ISLAND_KNOBS.items()}
+    )
+    probe = (
+        "import json, os\n"
+        "from repro.api import TransformConfig\n"
+        "r = TransformConfig().resolved(environ=os.environ)\n"
+        "print(json.dumps({f: getattr(r, f) for f in "
+        f"{sorted(ISLAND_KNOBS)!r}}}))\n"
+    )
+    with config.applied_env():
+        out = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    p for p in sys.path if p
+                ),
+            },
+        ).stdout
+    seen = json.loads(out)
+    for field, (_env, value) in ISLAND_KNOBS.items():
+        assert seen[field] == value, f"{field} dropped in the subprocess"

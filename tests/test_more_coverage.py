@@ -235,4 +235,4 @@ def test_top_level_api_exports():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"

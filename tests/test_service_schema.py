@@ -1,0 +1,166 @@
+"""Property and validation tests for the ``repro.service/1`` wire schema."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service import (
+    REJECTED_CONFIG_FIELDS,
+    SERVICE_SCHEMA,
+    TransformRequest,
+    TransformResponse,
+)
+
+# ------------------------------------------------------------- strategies
+
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+_config_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=20).filter(
+        lambda k: k not in REJECTED_CONFIG_FIELDS
+    ),
+    _json_scalars,
+    max_size=6,
+)
+
+_requests = st.one_of(
+    st.builds(
+        TransformRequest,
+        source=st.text(min_size=1, max_size=200),
+        config=st.one_of(st.none(), _config_dicts),
+        request_id=st.one_of(st.none(), st.text(max_size=40)),
+    ),
+    st.builds(
+        TransformRequest,
+        app=st.text(min_size=1, max_size=40),
+        config=st.one_of(st.none(), _config_dicts),
+        request_id=st.one_of(st.none(), st.text(max_size=40)),
+    ),
+)
+
+_errors = st.fixed_dictionaries(
+    {
+        "type": st.text(min_size=1, max_size=30),
+        "stage": st.one_of(st.none(), st.text(max_size=20)),
+        "message": st.text(max_size=100),
+    }
+)
+
+_responses = st.one_of(
+    st.builds(
+        TransformResponse,
+        status=st.just("ok"),
+        job_id=st.one_of(st.none(), st.text(max_size=40)),
+        key=st.one_of(st.none(), st.text(max_size=64)),
+        source=st.one_of(st.none(), st.text(max_size=200)),
+        speedup=st.one_of(
+            st.none(), st.floats(allow_nan=False, allow_infinity=False)
+        ),
+        verified=st.one_of(st.none(), st.booleans()),
+        demotions=st.integers(min_value=0, max_value=100),
+        reused=st.dictionaries(
+            st.text(min_size=1, max_size=20), st.text(max_size=20), max_size=4
+        ),
+        wall_time_s=st.one_of(
+            st.none(), st.floats(min_value=0, allow_nan=False, allow_infinity=False)
+        ),
+        worker_retries=st.integers(min_value=0, max_value=5),
+    ),
+    st.builds(
+        TransformResponse,
+        status=st.just("error"),
+        job_id=st.one_of(st.none(), st.text(max_size=40)),
+        key=st.one_of(st.none(), st.text(max_size=64)),
+        error=_errors,
+    ),
+)
+
+
+# ------------------------------------------------------------ round trips
+
+
+@given(_requests)
+def test_request_round_trips_losslessly(request):
+    assert TransformRequest.from_json(request.to_json()) == request
+
+
+@given(_responses)
+def test_response_round_trips_losslessly(response):
+    assert TransformResponse.from_json(response.to_json()) == response
+
+
+@given(_responses)
+def test_equal_responses_encode_to_equal_bytes(response):
+    clone = TransformResponse.from_json(response.to_json())
+    assert clone.to_json().encode() == response.to_json().encode()
+
+
+@given(_requests)
+def test_request_json_is_canonical(request):
+    encoded = request.to_json()
+    assert json.loads(encoded) == request.to_dict()
+    assert encoded == json.dumps(
+        request.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+# -------------------------------------------------------------- rejection
+
+
+def test_unknown_request_field_rejected():
+    with pytest.raises(ServiceError, match="unknown request field"):
+        TransformRequest.from_json('{"source": "x", "surprise": 1}')
+
+
+def test_unknown_response_field_rejected():
+    with pytest.raises(ServiceError, match="unknown response field"):
+        TransformResponse.from_json('{"status": "ok", "bonus": true}')
+
+
+def test_wrong_schema_tag_rejected():
+    with pytest.raises(ServiceError, match="unsupported request schema"):
+        TransformRequest.from_json(
+            '{"source": "x", "schema": "repro.service/99"}'
+        )
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(ServiceError, match="not valid JSON"):
+        TransformRequest.from_json("{nope")
+    with pytest.raises(ServiceError, match="JSON object"):
+        TransformRequest.from_json("[1, 2]")
+
+
+def test_source_app_exclusivity():
+    with pytest.raises(ServiceError, match="exactly one"):
+        TransformRequest(source="x", app="Fluam")
+    with pytest.raises(ServiceError, match="exactly one"):
+        TransformRequest()
+
+
+@pytest.mark.parametrize("name", REJECTED_CONFIG_FIELDS)
+def test_policy_config_fields_rejected(name):
+    with pytest.raises(ServiceError, match="not accepted over the wire"):
+        TransformRequest(source="x", config={name: "/tmp/elsewhere"})
+
+
+def test_error_response_requires_error_payload():
+    with pytest.raises(ServiceError, match="must carry 'error'"):
+        TransformResponse(status="error")
+    with pytest.raises(ServiceError, match="'ok' or 'error'"):
+        TransformResponse(status="maybe")
+
+
+def test_schema_tag_default():
+    request = TransformRequest(source="x")
+    assert request.schema == SERVICE_SCHEMA
+    assert json.loads(request.to_json())["schema"] == SERVICE_SCHEMA
